@@ -1,0 +1,44 @@
+// Ablation for the §3 claim: "These thresholds [16 and 352] were determined
+// experimentally. Varying them by quite a bit does not significantly affect
+// the performance." Sweeps the thread/warp degree limits of the GPU
+// pipeline on the reduced suite and reports modeled runtimes relative to
+// the published 16/352 configuration.
+#include "common/table.h"
+#include "gpusim/gpu_cc.h"
+#include "graph/suite.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.5);
+  if (cfg.graph_filter.empty()) cfg.graph_filter = small_suite_names();
+
+  const std::vector<std::pair<vertex_t, vertex_t>> limits = {
+      {4, 352}, {8, 352}, {16, 352}, {32, 352}, {64, 352},
+      {16, 128}, {16, 704}, {16, 1024},
+  };
+
+  Table t("Ablation: GPU kernel degree thresholds (runtime relative to the "
+          "published 16/352 configuration)");
+  std::vector<std::string> header{"Graph"};
+  for (const auto& [t1, t2] : limits) {
+    header.push_back(std::to_string(t1) + "/" + std::to_string(t2));
+  }
+  t.set_header(std::move(header));
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    gpusim::GpuEclOptions base;
+    const double base_ms = gpusim::ecl_cc_gpu(g, gpusim::titanx_like(), base).time_ms;
+    std::vector<std::string> row{name};
+    for (const auto& [t1, t2] : limits) {
+      gpusim::GpuEclOptions opts;
+      opts.thread_degree_limit = t1;
+      opts.warp_degree_limit = t2;
+      const double ms = gpusim::ecl_cc_gpu(g, gpusim::titanx_like(), opts).time_ms;
+      row.push_back(Table::fmt(ms / base_ms, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  harness::emit(t, cfg, "ablation_thresholds");
+  return 0;
+}

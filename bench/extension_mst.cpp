@@ -1,0 +1,47 @@
+// Extension benchmark for the paper's conclusion: "[intermediate pointer
+// jumping] should be able to accelerate other GPU algorithms that are based
+// on union find, such as Kruskal's algorithm for finding the minimum
+// spanning tree of a graph." Runs the Boruvka spanning forest on the
+// simulated Titan X with each pointer-jumping flavour and reports runtimes
+// relative to intermediate jumping.
+#include "common/table.h"
+#include "gpusim/mst_gpu.h"
+#include "graph/suite.h"
+#include "harness/bench_harness.h"
+
+namespace {
+
+double hash_weight(ecl::vertex_t u, ecl::vertex_t v) {
+  const auto lo = std::min(u, v);
+  const auto hi = std::max(u, v);
+  return static_cast<double>((lo * 2654435761u + hi * 40503u) % 100003) + 1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.25);
+  if (cfg.graph_filter.empty()) cfg.graph_filter = small_suite_names();
+
+  const std::vector<std::pair<std::string, JumpPolicy>> variants = {
+      {"Jump1", JumpPolicy::kMultiple},
+      {"Jump2", JumpPolicy::kSingle},
+      {"Jump3", JumpPolicy::kNone},
+      {"Jump4 (default)", JumpPolicy::kIntermediate},
+  };
+
+  harness::RatioTable ratios(
+      "Extension: Boruvka MST on the simulated Titan X with each "
+      "pointer-jumping flavour (relative to intermediate jumping)",
+      "Jump4 (default)", {"Jump1", "Jump2", "Jump3", "Jump4 (default)"});
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    for (const auto& [label, jump] : variants) {
+      const auto result = gpusim::boruvka_mst_gpu(g, gpusim::titanx_like(), hash_weight, jump);
+      ratios.record(name, label, result.time_ms);
+    }
+  }
+  harness::emit(ratios.normalized(), cfg, "extension_mst");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Fig. 7: total ECL-CC runtime on the (simulated) Titan X with
+// the three initialization-kernel variants, normalized to Init3 (the
+// published choice). Values above 1.0 mean slower than ECL-CC.
+#include "core/ecl_cc.h"
+#include "gpusim/gpu_cc.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.5);
+
+  const std::vector<std::pair<std::string, InitPolicy>> variants = {
+      {"Init1", InitPolicy::kSelf},
+      {"Init2", InitPolicy::kMinNeighbor},
+      {"Init3 (ECL-CC)", InitPolicy::kFirstSmallerNeighbor},
+  };
+
+  harness::RatioTable ratios(
+      "Fig. 7: relative runtime with different initialization kernels on the "
+      "simulated Titan X (normalized to Init3; higher is worse)",
+      "Init3 (ECL-CC)", {"Init1", "Init2", "Init3 (ECL-CC)"});
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    for (const auto& [label, policy] : variants) {
+      gpusim::GpuEclOptions opts;
+      opts.init = policy;
+      const auto result = gpusim::ecl_cc_gpu(g, gpusim::titanx_like(), opts);
+      ratios.record(name, label, result.time_ms);
+    }
+  }
+  harness::emit(ratios.normalized(), cfg, "fig07_init");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Fig. 8: total ECL-CC runtime on the (simulated) Titan X with
+// the four pointer-jumping variants, normalized to Jump4 (intermediate
+// pointer jumping, the published choice). The paper's cut-off bar (Jump3 on
+// europe_osm, 254x) appears here too — Jump3 is the variant without any
+// path compression. Defaults to scale 0.25 because Jump3 is quadratic-ish
+// on long-diameter graphs, exactly as the paper shows.
+#include "core/ecl_cc.h"
+#include "gpusim/gpu_cc.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.25);
+
+  const std::vector<std::pair<std::string, JumpPolicy>> variants = {
+      {"Jump1", JumpPolicy::kMultiple},
+      {"Jump2", JumpPolicy::kSingle},
+      {"Jump3", JumpPolicy::kNone},
+      {"Jump4 (ECL-CC)", JumpPolicy::kIntermediate},
+  };
+
+  harness::RatioTable ratios(
+      "Fig. 8: relative runtime with different pointer-jumping versions on "
+      "the simulated Titan X (normalized to Jump4; higher is worse)",
+      "Jump4 (ECL-CC)", {"Jump1", "Jump2", "Jump3", "Jump4 (ECL-CC)"});
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    for (const auto& [label, policy] : variants) {
+      gpusim::GpuEclOptions opts;
+      opts.jump = policy;
+      const auto result = gpusim::ecl_cc_gpu(g, gpusim::titanx_like(), opts);
+      ratios.record(name, label, result.time_ms);
+    }
+  }
+  harness::emit(ratios.normalized(), cfg, "fig08_jump");
+  return 0;
+}

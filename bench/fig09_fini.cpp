@@ -1,0 +1,33 @@
+// Reproduces Fig. 9: total ECL-CC runtime on the (simulated) Titan X with
+// the three finalization-kernel variants, normalized to Fini3 (single
+// pointer jumping, the published choice).
+#include "core/ecl_cc.h"
+#include "gpusim/gpu_cc.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.5);
+
+  const std::vector<std::pair<std::string, FinalizePolicy>> variants = {
+      {"Fini1", FinalizePolicy::kIntermediate},
+      {"Fini2", FinalizePolicy::kMultiple},
+      {"Fini3 (ECL-CC)", FinalizePolicy::kSingle},
+  };
+
+  harness::RatioTable ratios(
+      "Fig. 9: relative runtime of different finalizations on the simulated "
+      "Titan X (normalized to Fini3; higher is worse)",
+      "Fini3 (ECL-CC)", {"Fini1", "Fini2", "Fini3 (ECL-CC)"});
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    for (const auto& [label, policy] : variants) {
+      gpusim::GpuEclOptions opts;
+      opts.finalize = policy;
+      const auto result = gpusim::ecl_cc_gpu(g, gpusim::titanx_like(), opts);
+      ratios.record(name, label, result.time_ms);
+    }
+  }
+  harness::emit(ratios.normalized(), cfg, "fig09_fini");
+  return 0;
+}

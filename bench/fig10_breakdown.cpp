@@ -1,0 +1,44 @@
+// Reproduces Fig. 10: distribution of the ECL-CC runtime among the five
+// CUDA kernels (initialization, compute 1/2/3, finalization) on the
+// simulated Titan X, as percentages per graph plus the average.
+#include <array>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "gpusim/gpu_cc.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.5);
+
+  const std::array<const char*, 5> kernels = {"initialization", "compute 1", "compute 2",
+                                              "compute 3", "finalization"};
+
+  Table t("Fig. 10: ECL-CC runtime distribution among the five kernels on the "
+          "simulated Titan X (percent of total)");
+  t.set_header({"Graph", "initialization", "compute 1", "compute 2", "compute 3",
+                "finalization"});
+
+  std::array<std::vector<double>, 5> shares;
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    const auto result = gpusim::ecl_cc_gpu(g, gpusim::titanx_like());
+    std::vector<std::string> row{name};
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+      const auto it = result.time_by_kernel.find(kernels[k]);
+      const double ms = it == result.time_by_kernel.end() ? 0.0 : it->second;
+      const double pct = result.time_ms > 0 ? 100.0 * ms / result.time_ms : 0.0;
+      shares[k].push_back(pct);
+      row.push_back(Table::fmt(pct, 1) + "%");
+    }
+    t.add_row(std::move(row));
+  }
+
+  std::vector<std::string> footer{"average"};
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    footer.push_back(Table::fmt(mean(shares[k]), 1) + "%");
+  }
+  t.add_row(std::move(footer));
+  harness::emit(t, cfg, "fig10_breakdown");
+  return 0;
+}

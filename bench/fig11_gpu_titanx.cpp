@@ -1,0 +1,41 @@
+// Reproduces Fig. 11 + Table 5: runtimes of the five GPU codes (ECL-CC,
+// Groute, Gunrock, IrGL, Soman) on the simulated Titan X — normalized to
+// ECL-CC (Fig. 11, higher is worse) and absolute in milliseconds (Table 5).
+// Runtimes are the simulator's modeled kernel times; transfers are excluded
+// per the paper's methodology (§4). Every code's labeling is verified
+// against the serial reference before its time is reported.
+#include <cstdio>
+
+#include "core/verify.h"
+#include "graph/stats.h"
+#include "gpusim/gpu_cc.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.5);
+
+  std::vector<std::string> names;
+  for (const auto& code : gpusim::gpu_codes()) names.push_back(code.name);
+  harness::RatioTable ratios(
+      "Fig. 11: Titan X (simulated) runtime relative to ECL-CC (higher is worse)",
+      "ECL-CC", names);
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    const auto reference = reference_components(g);
+    for (const auto& code : gpusim::gpu_codes()) {
+      const auto result = code.run(g, gpusim::titanx_like());
+      if (!same_partition(result.labels, reference)) {
+        std::fprintf(stderr, "VERIFICATION FAILED: %s on %s\n", code.name.c_str(),
+                     name.c_str());
+        return 1;
+      }
+      ratios.record(name, code.name, result.time_ms);
+    }
+  }
+  harness::emit(ratios.normalized(), cfg, "fig11_gpu_titanx");
+  harness::emit(ratios.absolute(
+                    "Table 5: absolute modeled runtimes (ms) on the simulated Titan X"),
+                cfg, "table5_gpu_titanx_abs");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Fig. 12 + Table 6: the five GPU codes on the simulated K40
+// (older Kepler-class configuration: 15 SMs, smaller L2, lower clock) —
+// normalized to ECL-CC and absolute.
+#include <cstdio>
+
+#include "core/verify.h"
+#include "graph/stats.h"
+#include "gpusim/gpu_cc.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.5);
+
+  std::vector<std::string> names;
+  for (const auto& code : gpusim::gpu_codes()) names.push_back(code.name);
+  harness::RatioTable ratios(
+      "Fig. 12: K40 (simulated) runtime relative to ECL-CC (higher is worse)", "ECL-CC",
+      names);
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    const auto reference = reference_components(g);
+    for (const auto& code : gpusim::gpu_codes()) {
+      const auto result = code.run(g, gpusim::k40_like());
+      if (!same_partition(result.labels, reference)) {
+        std::fprintf(stderr, "VERIFICATION FAILED: %s on %s\n", code.name.c_str(),
+                     name.c_str());
+        return 1;
+      }
+      ratios.record(name, code.name, result.time_ms);
+    }
+  }
+  harness::emit(ratios.normalized(), cfg, "fig12_gpu_k40");
+  harness::emit(
+      ratios.absolute("Table 6: absolute modeled runtimes (ms) on the simulated K40"),
+      cfg, "table6_gpu_k40_abs");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Fig. 13 + Table 7: the seven parallel CPU codes (ECL-CComp,
+// Ligra+ BFSCC, Ligra+ Comp, CRONO, ndHybrid, Multistep, Galois) on the
+// host's cores — wall-clock medians, normalized to ECL-CComp and absolute.
+// CRONO prints n/a where its n x dmax matrix exceeds the memory limit,
+// exactly as in the paper's tables.
+#include <cstdio>
+#include <omp.h>
+
+#include "baselines/registry.h"
+#include "core/verify.h"
+#include "graph/stats.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv);
+  const int threads = omp_get_max_threads();
+  std::printf("running with %d OpenMP thread(s)\n\n", threads);
+
+  std::vector<std::string> names;
+  for (const auto& code : baselines::parallel_cpu_codes()) names.push_back(code.name);
+  harness::RatioTable ratios(
+      "Fig. 13: parallel CPU runtime relative to ECL-CComp (higher is worse)",
+      "ECL-CComp", names);
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    const auto reference = reference_components(g);
+    for (const auto& code : baselines::parallel_cpu_codes()) {
+      if (!code.supports(g)) {
+        ratios.record(name, code.name, std::nullopt);
+        continue;
+      }
+      const auto runner = code.prepare(g, threads);
+      std::vector<vertex_t> labels;
+      const double ms = harness::measure_ms(cfg, [&] { labels = runner(); });
+      if (!same_partition(labels, reference)) {
+        std::fprintf(stderr, "VERIFICATION FAILED: %s on %s\n", code.name.c_str(),
+                     name.c_str());
+        return 1;
+      }
+      ratios.record(name, code.name, ms);
+    }
+  }
+  harness::emit(ratios.normalized(), cfg, "fig13_cpu_parallel");
+  harness::emit(ratios.absolute("Table 7: absolute parallel runtimes (ms) on this host"),
+                cfg, "table7_cpu_parallel_abs");
+  return 0;
+}

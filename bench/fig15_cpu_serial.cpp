@@ -1,0 +1,39 @@
+// Reproduces Fig. 15 + Table 9: the five serial CPU codes (ECL-CCser,
+// Galois, Boost, Lemon, igraph) — wall-clock medians, normalized to
+// ECL-CCser and absolute.
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "core/verify.h"
+#include "graph/stats.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv);
+
+  std::vector<std::string> names;
+  for (const auto& code : baselines::serial_cpu_codes()) names.push_back(code.name);
+  harness::RatioTable ratios(
+      "Fig. 15: serial CPU runtime relative to ECL-CCser (higher is worse)",
+      "ECL-CCser", names);
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    const auto reference = reference_components(g);
+    for (const auto& code : baselines::serial_cpu_codes()) {
+      const auto runner = code.prepare(g, 1);
+      std::vector<vertex_t> labels;
+      const double ms = harness::measure_ms(cfg, [&] { labels = runner(); });
+      if (!same_partition(labels, reference)) {
+        std::fprintf(stderr, "VERIFICATION FAILED: %s on %s\n", code.name.c_str(),
+                     name.c_str());
+        return 1;
+      }
+      ratios.record(name, code.name, ms);
+    }
+  }
+  harness::emit(ratios.normalized(), cfg, "fig15_cpu_serial");
+  harness::emit(ratios.absolute("Table 9: absolute serial runtimes (ms) on this host"),
+                cfg, "table9_cpu_serial_abs");
+  return 0;
+}

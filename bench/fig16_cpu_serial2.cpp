@@ -1,0 +1,44 @@
+// Reproduces Fig. 16 + Table 10: the serial CPU comparison on the paper's
+// second (older X5690) machine. Only the hardware differs from Fig. 15 —
+// we have a single host, so this binary repeats the measurement as an
+// independent second sample on this host (which also serves as a stability
+// check of Fig. 15). The hardware substitution is recorded in DESIGN.md and
+// EXPERIMENTS.md; the paper's qualitative Fig. 16 finding is that
+// ECL-CCser's advantage persists (and grows) on older hardware.
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "core/verify.h"
+#include "graph/stats.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv);
+
+  std::vector<std::string> names;
+  for (const auto& code : baselines::serial_cpu_codes()) names.push_back(code.name);
+  harness::RatioTable ratios(
+      "Fig. 16: serial CPU runtime relative to ECL-CCser, second measurement "
+      "pass (higher is worse)",
+      "ECL-CCser", names);
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    const auto reference = reference_components(g);
+    for (const auto& code : baselines::serial_cpu_codes()) {
+      const auto runner = code.prepare(g, 1);
+      std::vector<vertex_t> labels;
+      const double ms = harness::measure_ms(cfg, [&] { labels = runner(); });
+      if (!same_partition(labels, reference)) {
+        std::fprintf(stderr, "VERIFICATION FAILED: %s on %s\n", code.name.c_str(),
+                     name.c_str());
+        return 1;
+      }
+      ratios.record(name, code.name, ms);
+    }
+  }
+  harness::emit(ratios.normalized(), cfg, "fig16_cpu_serial2");
+  harness::emit(ratios.absolute("Table 10: absolute serial runtimes (ms), second pass"),
+                cfg, "table10_cpu_serial2_abs");
+  return 0;
+}

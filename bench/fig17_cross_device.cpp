@@ -1,0 +1,68 @@
+// Reproduces Fig. 17: geometric-mean runtime of every code across the
+// suite, normalized to ECL-CC on the (simulated) Titan X.
+//
+// Domain caveat, stated up front: GPU runtimes come from the simulator's
+// cycle model, CPU runtimes are wall-clock on this host, so the GPU-vs-CPU
+// gap mixes a modeled and a measured quantity (the within-GPU and
+// within-CPU orderings do not). The paper measured everything on real
+// hardware; see EXPERIMENTS.md for the comparison.
+#include <cstdio>
+#include <map>
+#include <omp.h>
+
+#include "baselines/registry.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/verify.h"
+#include "graph/stats.h"
+#include "gpusim/gpu_cc.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.5);
+  const int threads = omp_get_max_threads();
+
+  // Per-code per-graph runtimes; ratios vs the anchor computed per graph.
+  std::map<std::string, std::vector<double>> ratios;  // code -> ratio per graph
+  std::vector<std::string> order;                     // display order
+
+  auto note = [&order](const std::string& name) {
+    if (std::find(order.begin(), order.end(), name) == order.end()) order.push_back(name);
+  };
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    const double anchor = gpusim::ecl_cc_gpu(g, gpusim::titanx_like()).time_ms;
+    if (anchor <= 0.0) continue;
+
+    for (const auto& code : gpusim::gpu_codes()) {
+      const std::string label = code.name + " (GPU)";
+      note(label);
+      ratios[label].push_back(code.run(g, gpusim::titanx_like()).time_ms / anchor);
+    }
+    for (const auto& code : baselines::parallel_cpu_codes()) {
+      if (!code.supports(g)) continue;
+      const std::string label = code.name + " (par CPU)";
+      note(label);
+      const auto runner = code.prepare(g, threads);
+      const double ms = harness::measure_ms(cfg, [&] { (void)runner(); });
+      ratios[label].push_back(ms / anchor);
+    }
+    for (const auto& code : baselines::serial_cpu_codes()) {
+      const std::string label = code.name + " (ser CPU)";
+      note(label);
+      const auto runner = code.prepare(g, 1);
+      const double ms = harness::measure_ms(cfg, [&] { (void)runner(); });
+      ratios[label].push_back(ms / anchor);
+    }
+  }
+
+  Table t("Fig. 17: geometric-mean runtime across devices relative to ECL-CC on "
+          "the simulated Titan X (GPU values modeled, CPU values measured)");
+  t.set_header({"Code", "Geomean slowdown vs ECL-CC (GPU)"});
+  for (const auto& label : order) {
+    t.add_row({label, Table::fmt(geometric_mean(ratios[label]), 1)});
+  }
+  harness::emit(t, cfg, "fig17_cross_device");
+  return 0;
+}

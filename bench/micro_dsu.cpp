@@ -1,0 +1,133 @@
+// google-benchmark microbenchmarks of the union-find primitives and the
+// phase kernels: the per-operation costs behind the paper-level results.
+#include <benchmark/benchmark.h>
+
+#include "core/ecl_cc.h"
+#include "dsu/disjoint_set.h"
+#include "dsu/rank_dsu.h"
+#include "dsu/find.h"
+#include "dsu/hook.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace ecl;
+
+/// Worst-case chain: parent[i] = i - 1.
+std::vector<vertex_t> chain(vertex_t n) {
+  std::vector<vertex_t> parent(n);
+  parent[0] = 0;
+  for (vertex_t v = 1; v < n; ++v) parent[v] = v - 1;
+  return parent;
+}
+
+void BM_FindIntermediate(benchmark::State& state) {
+  const auto n = static_cast<vertex_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto parent = chain(n);
+    state.ResumeTiming();
+    SerialParentOps ops(parent.data());
+    for (vertex_t v = n; v > 0; --v) {
+      benchmark::DoNotOptimize(find_intermediate(v - 1, ops));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FindIntermediate)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_FindSingle(benchmark::State& state) {
+  const auto n = static_cast<vertex_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto parent = chain(n);
+    state.ResumeTiming();
+    SerialParentOps ops(parent.data());
+    for (vertex_t v = n; v > 0; --v) {
+      benchmark::DoNotOptimize(find_single(v - 1, ops));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FindSingle)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_FindMultiple(benchmark::State& state) {
+  const auto n = static_cast<vertex_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto parent = chain(n);
+    state.ResumeTiming();
+    SerialParentOps ops(parent.data());
+    for (vertex_t v = n; v > 0; --v) {
+      benchmark::DoNotOptimize(find_multiple(v - 1, ops));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FindMultiple)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DisjointSetUnite(benchmark::State& state) {
+  const auto n = static_cast<vertex_t>(state.range(0));
+  for (auto _ : state) {
+    DisjointSet ds(n);
+    for (vertex_t v = 0; v + 1 < n; ++v) ds.unite(v, v + 1);
+    benchmark::DoNotOptimize(ds.count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DisjointSetUnite)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ConcurrentDsuUnite(benchmark::State& state) {
+  const auto n = static_cast<vertex_t>(state.range(0));
+  for (auto _ : state) {
+    ConcurrentDisjointSet ds(n);
+    for (vertex_t v = 0; v + 1 < n; ++v) ds.unite(v, v + 1);
+    ds.flatten();
+    benchmark::DoNotOptimize(ds.count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConcurrentDsuUnite)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_RandomPriorityDsuUnite(benchmark::State& state) {
+  // Linking-strategy comparison vs BM_ConcurrentDsuUnite (ECL min-linking)
+  // on the sequential-chain adversarial case.
+  const auto n = static_cast<vertex_t>(state.range(0));
+  for (auto _ : state) {
+    RandomPriorityDisjointSet ds(n);
+    for (vertex_t v = 0; v + 1 < n; ++v) ds.unite(v, v + 1);
+    benchmark::DoNotOptimize(ds.count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RandomPriorityDsuUnite)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_EclSerialOnGrid(benchmark::State& state) {
+  const auto side = static_cast<vertex_t>(state.range(0));
+  const Graph g = gen_grid2d(side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecl_cc_serial(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_EclSerialOnGrid)->Arg(64)->Arg(256);
+
+void BM_EclSerialOnKron(benchmark::State& state) {
+  const Graph g = gen_kronecker(static_cast<int>(state.range(0)), 16, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecl_cc_serial(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_EclSerialOnKron)->Arg(12)->Arg(15);
+
+void BM_GraphGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen_rmat(static_cast<int>(state.range(0)), 8, RmatParams{}, 3));
+  }
+}
+BENCHMARK(BM_GraphGeneration)->Arg(12)->Arg(15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Reproduces Table 2: properties of the input graphs (name, type, vertices,
+// directed edges, min/avg/max degree, number of connected components) for
+// the scaled synthetic suite.
+#include <iostream>
+
+#include "common/table.h"
+#include "graph/stats.h"
+#include "graph/suite.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv);
+
+  Table t("Table 2: information about the input graphs (scaled suite, scale=" +
+          Table::fmt(cfg.scale, 2) + ")");
+  t.set_header({"Graph name", "Type", "Vertices", "Edges*", "dmin", "davg", "dmax", "CCs"});
+
+  for (const auto& entry : paper_suite()) {
+    if (!cfg.graph_filter.empty() &&
+        std::find(cfg.graph_filter.begin(), cfg.graph_filter.end(), entry.name) ==
+            cfg.graph_filter.end()) {
+      continue;
+    }
+    const Graph g = entry.make(cfg.scale);
+    const auto s = compute_stats(g, entry.name);
+    t.add_row({s.name, entry.family, Table::fmt_count(s.num_vertices),
+               Table::fmt_count(s.num_edges), Table::fmt_count(s.min_degree),
+               Table::fmt(s.avg_degree, 1), Table::fmt_count(s.max_degree),
+               Table::fmt_count(s.num_components)});
+  }
+  harness::emit(t, cfg, "table2_graphs");
+  std::cout << "*each undirected edge is stored as two directed edges (CSR), as in the paper\n";
+  return 0;
+}

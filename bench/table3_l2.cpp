@@ -1,0 +1,80 @@
+// Reproduces Table 3: whole-application L2-cache read and write accesses of
+// Jump1 (multiple), Jump2 (single) and Jump3 (no pointer jumping) relative
+// to Jump4 (intermediate, ECL-CC), plus the reads-per-write ratios quoted
+// in §5.1 — all measured by the simulated memory hierarchy.
+#include <iostream>
+#include <map>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "gpusim/gpu_cc.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.25);
+
+  const std::vector<std::pair<std::string, JumpPolicy>> variants = {
+      {"Jump1", JumpPolicy::kMultiple},
+      {"Jump2", JumpPolicy::kSingle},
+      {"Jump3", JumpPolicy::kNone},
+      {"Jump4", JumpPolicy::kIntermediate},
+  };
+
+  Table t("Table 3: L2 cache read and write accesses relative to Jump4 "
+          "(simulated Titan X)");
+  t.set_header({"Graph name", "rd Jump1", "rd Jump2", "rd Jump3", "wr Jump1", "wr Jump2",
+                "wr Jump3"});
+
+  std::map<std::string, std::vector<double>> read_ratios;
+  std::map<std::string, std::vector<double>> write_ratios;
+  std::map<std::string, std::vector<double>> rw_ratios;  // reads per write, absolute
+
+  for (const auto& [name, g] : harness::load_suite(cfg)) {
+    std::map<std::string, gpusim::MemoryCounters> mem;
+    for (const auto& [label, policy] : variants) {
+      gpusim::GpuEclOptions opts;
+      opts.jump = policy;
+      mem[label] = gpusim::ecl_cc_gpu(g, gpusim::titanx_like(), opts).memory;
+      rw_ratios[label].push_back(static_cast<double>(mem[label].l2_reads) /
+                                 static_cast<double>(std::max<std::uint64_t>(
+                                     1, mem[label].l2_writes)));
+    }
+    const auto& base = mem["Jump4"];
+    // Clamp both sides to >= 1 access: tiny graphs can produce zero counts,
+    // which would otherwise zero out the geometric mean.
+    const auto ratio = [](std::uint64_t a, std::uint64_t b) {
+      return static_cast<double>(std::max<std::uint64_t>(1, a)) /
+             static_cast<double>(std::max<std::uint64_t>(1, b));
+    };
+    std::vector<std::string> row{name};
+    for (const char* j : {"Jump1", "Jump2", "Jump3"}) {
+      const double r = ratio(mem[j].l2_reads, base.l2_reads);
+      read_ratios[j].push_back(r);
+      row.push_back(Table::fmt(r, 2));
+    }
+    for (const char* j : {"Jump1", "Jump2", "Jump3"}) {
+      const double w = ratio(mem[j].l2_writes, base.l2_writes);
+      write_ratios[j].push_back(w);
+      row.push_back(Table::fmt(w, 2));
+    }
+    t.add_row(std::move(row));
+  }
+
+  std::vector<std::string> footer{"Geometric Mean"};
+  for (const char* j : {"Jump1", "Jump2", "Jump3"}) {
+    footer.push_back(Table::fmt(geometric_mean(read_ratios[j]), 2));
+  }
+  for (const char* j : {"Jump1", "Jump2", "Jump3"}) {
+    footer.push_back(Table::fmt(geometric_mean(write_ratios[j]), 2));
+  }
+  t.add_row(std::move(footer));
+  harness::emit(t, cfg, "table3_l2");
+
+  std::cout << "L2 reads per L2 write (average across graphs; paper reports Jump1 3.02, "
+               "Jump2 2.78, Jump3 42.5, Jump4 8.82):\n";
+  for (const auto& [label, ratios] : rw_ratios) {
+    std::cout << "  " << label << ": " << Table::fmt(geometric_mean(ratios), 2) << "\n";
+  }
+  return 0;
+}

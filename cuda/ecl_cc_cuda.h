@@ -1,0 +1,16 @@
+// Public entry point of the real-GPU (CUDA) backend. Only available when
+// the project is configured with -DECLCC_ENABLE_CUDA=ON.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ecl::cuda {
+
+/// Connected-components labeling of `g` on the current CUDA device, using
+/// the paper's five-kernel pipeline. Labels are component minima, identical
+/// to ecl_cc_serial / ecl_cc_omp / gpusim::ecl_cc_gpu.
+[[nodiscard]] std::vector<vertex_t> ecl_cc_cuda(const Graph& g);
+
+}  // namespace ecl::cuda

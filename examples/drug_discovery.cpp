@@ -1,0 +1,84 @@
+// Protein-complex detection in a protein-protein-interaction (PPI) network —
+// the biochemistry use case from the paper's introduction ("interacting
+// proteins are connected in the PPI network").
+//
+//   $ ./drug_discovery [--proteins=N] [--seed=N]
+//
+// Generates a synthetic PPI network (dense complexes plus sparse transient
+// interactions), finds the interaction components with ECL-CC, and reports
+// the complexes a screening pipeline would prioritize.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "core/ecl_cc.h"
+#include "core/verify.h"
+#include "graph/builder.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  CliArgs args(argc, argv);
+  const auto n = static_cast<vertex_t>(args.get_int("proteins", 20000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  Xoshiro256 rng(seed);
+  GraphBuilder builder(n);
+
+  // Protein complexes: runs of 3-20 proteins with dense pairwise binding.
+  vertex_t v = 0;
+  vertex_t num_complex_proteins = 0;
+  while (v + 3 < n) {
+    const auto size = static_cast<vertex_t>(3 + rng.bounded(18));
+    const vertex_t end = std::min<vertex_t>(n, v + size);
+    for (vertex_t a = v; a < end; ++a) {
+      for (vertex_t b = a + 1; b < end; ++b) {
+        if (rng.uniform() < 0.6) builder.add_edge(a, b);
+      }
+    }
+    num_complex_proteins += end - v;
+    v = end;
+    // Leave gaps: proteins with no stable interactions.
+    v += static_cast<vertex_t>(rng.bounded(4));
+  }
+  // Sparse transient interactions occasionally bridge complexes.
+  const vertex_t num_transient = n / 50;
+  for (vertex_t i = 0; i < num_transient; ++i) {
+    const auto a = static_cast<vertex_t>(rng.bounded(n));
+    const auto b = static_cast<vertex_t>(rng.bounded(n));
+    if (a != b) builder.add_edge(a, b);
+  }
+  const Graph ppi = builder.build();
+
+  // Interaction components = candidate functional modules.
+  const std::vector<vertex_t> labels = ecl_cc_omp(ppi);
+
+  std::map<vertex_t, vertex_t> module_size;
+  for (vertex_t p = 0; p < n; ++p) ++module_size[labels[p]];
+
+  std::vector<std::pair<vertex_t, vertex_t>> modules(module_size.begin(), module_size.end());
+  std::sort(modules.begin(), modules.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  vertex_t singletons = 0;
+  for (const auto& [label, size] : modules) {
+    if (size == 1) ++singletons;
+  }
+
+  std::printf("PPI network: %u proteins, %llu interactions, %u in complexes\n", n,
+              static_cast<unsigned long long>(ppi.num_edges() / 2), num_complex_proteins);
+  std::printf("interaction modules found: %zu (%u isolated proteins)\n", modules.size(),
+              singletons);
+  std::printf("largest candidate modules for screening:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, modules.size()); ++i) {
+    if (modules[i].second < 2) break;
+    std::printf("  module rooted at protein %6u: %5u protein(s)\n", modules[i].first,
+                modules[i].second);
+  }
+
+  const auto check = verify_labels(ppi, labels);
+  std::printf("verification: %s\n", check.ok ? "ok" : check.reason.c_str());
+  return check.ok ? 0 : 1;
+}

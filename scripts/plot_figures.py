@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Render the reproduction's benchmark CSVs as SVG bar charts.
+
+Reads the CSV files written by the bench binaries (``--csv-dir``) and emits
+one grouped-bar SVG per figure, visually mirroring the paper's Figures 7-17
+(log-scale, higher-is-worse, reference line at 1.0). No third-party
+dependencies — plain-Python SVG generation.
+
+Usage:
+    bench/<binary> --csv-dir=bench_results      # produce the CSVs first
+    python3 scripts/plot_figures.py bench_results [output_dir]
+"""
+from __future__ import annotations
+
+import csv
+import math
+import sys
+from pathlib import Path
+
+# Categorical palette (colorblind-friendly).
+PALETTE = ["#4477AA", "#EE6677", "#228833", "#CCBB44", "#66CCEE", "#AA3377", "#BBBBBB"]
+
+# Figures rendered as normalized (log-scale) grouped bars: filename -> title.
+RATIO_FIGURES = {
+    "fig07_init": "Fig. 7: runtime relative to Init3 (simulated Titan X)",
+    "fig08_jump": "Fig. 8: runtime relative to Jump4 (simulated Titan X)",
+    "fig09_fini": "Fig. 9: runtime relative to Fini3 (simulated Titan X)",
+    "fig11_gpu_titanx": "Fig. 11: Titan X (simulated) runtime relative to ECL-CC",
+    "fig12_gpu_k40": "Fig. 12: K40 (simulated) runtime relative to ECL-CC",
+    "fig13_cpu_parallel": "Fig. 13: parallel CPU runtime relative to ECL-CComp",
+    "fig14_cpu_parallel2": "Fig. 14: parallel CPU runtime (reduced threads)",
+    "fig15_cpu_serial": "Fig. 15: serial CPU runtime relative to ECL-CCser",
+    "fig16_cpu_serial2": "Fig. 16: serial CPU runtime (second pass)",
+}
+
+# Stacked-percentage figure.
+STACKED_FIGURES = {
+    "fig10_breakdown": "Fig. 10: ECL-CC runtime distribution among the five kernels",
+}
+
+
+def read_csv(path: Path) -> tuple[list[str], list[list[str]]]:
+    with path.open(newline="") as fh:
+        rows = list(csv.reader(fh))
+    if not rows:
+        raise ValueError(f"{path} is empty")
+    return rows[0], rows[1:]
+
+
+def esc(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+class Svg:
+    """Tiny SVG document builder."""
+
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+        self.parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+        ]
+
+    def rect(self, x: float, y: float, w: float, h: float, fill: str) -> None:
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.2f}" height="{h:.2f}" fill="{fill}"/>'
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, stroke: str,
+             width: float = 1.0, dash: str = "") -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def text(self, x: float, y: float, content: str, size: int = 11, anchor: str = "middle",
+             rotate: float = 0.0, bold: bool = False) -> None:
+        transform = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        weight = ' font-weight="bold"' if bold else ""
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-family="Helvetica,Arial,sans-serif" '
+            f'font-size="{size}" text-anchor="{anchor}"{weight}{transform}>'
+            f"{esc(content)}</text>"
+        )
+
+    def save(self, path: Path) -> None:
+        self.parts.append("</svg>")
+        path.write_text("\n".join(self.parts))
+
+
+def parse_cell(cell: str) -> float | None:
+    try:
+        return float(cell)
+    except ValueError:
+        return None  # "n/a"
+
+
+def render_ratio_figure(csv_path: Path, title: str, out_path: Path) -> None:
+    header, rows = read_csv(csv_path)
+    codes = header[1:]
+    graphs = [row[0] for row in rows]
+    values = [[parse_cell(c) for c in row[1:]] for row in rows]
+
+    finite = [v for row in values for v in row if v is not None and v > 0]
+    if not finite:
+        return
+    vmax = max(finite)
+    vmin = min(min(finite), 0.5)
+    log_top = math.ceil(math.log2(vmax)) + 1
+    log_bot = math.floor(math.log2(vmin))
+
+    margin_l, margin_r, margin_t, margin_b = 60, 20, 60, 110
+    group_w = max(26, 11 * len(codes))
+    plot_w = group_w * len(graphs)
+    plot_h = 300
+    svg = Svg(margin_l + plot_w + margin_r, margin_t + plot_h + margin_b)
+    svg.text(margin_l + plot_w / 2, 25, title, size=14, bold=True)
+
+    def y_of(value: float) -> float:
+        frac = (math.log2(value) - log_bot) / (log_top - log_bot)
+        return margin_t + plot_h * (1 - frac)
+
+    # Gridlines at powers of two (the paper's axis style).
+    for e in range(log_bot, log_top + 1):
+        y = y_of(2.0**e)
+        svg.line(margin_l, y, margin_l + plot_w, y, "#dddddd")
+        svg.text(margin_l - 6, y + 4, f"{2.0 ** e:g}", size=10, anchor="end")
+    svg.line(margin_l, y_of(1.0), margin_l + plot_w, y_of(1.0), "#333333", 1.2, dash="4,3")
+
+    bar_w = (group_w - 6) / len(codes)
+    for gi, graph in enumerate(graphs):
+        x0 = margin_l + gi * group_w + 3
+        for ci, _ in enumerate(codes):
+            v = values[gi][ci]
+            if v is None or v <= 0:
+                svg.text(x0 + ci * bar_w + bar_w / 2, y_of(1.0) - 4, "x", size=9)
+                continue
+            y = y_of(v)
+            base = y_of(1.0)
+            top, height = (y, base - y) if v >= 1 else (base, y - base)
+            svg.rect(x0 + ci * bar_w, top, bar_w - 1, max(height, 0.5),
+                     PALETTE[ci % len(PALETTE)])
+        svg.text(margin_l + gi * group_w + group_w / 2, margin_t + plot_h + 12, graph,
+                 size=9, anchor="end", rotate=-45.0)
+
+    # Legend.
+    lx = margin_l
+    ly = svg.height - 18
+    for ci, code in enumerate(codes):
+        svg.rect(lx, ly - 9, 10, 10, PALETTE[ci % len(PALETTE)])
+        svg.text(lx + 14, ly, code, size=10, anchor="start")
+        lx += 14 + 7 * len(code) + 16
+    svg.save(out_path)
+
+
+def render_stacked_figure(csv_path: Path, title: str, out_path: Path) -> None:
+    header, rows = read_csv(csv_path)
+    kernels = header[1:]
+    margin_l, margin_t, plot_h = 60, 60, 300
+    group_w = 30
+    plot_w = group_w * len(rows)
+    svg = Svg(margin_l + plot_w + 170, margin_t + plot_h + 110)
+    svg.text(margin_l + plot_w / 2, 25, title, size=14, bold=True)
+
+    for pct in range(0, 101, 20):
+        y = margin_t + plot_h * (1 - pct / 100)
+        svg.line(margin_l, y, margin_l + plot_w, y, "#dddddd")
+        svg.text(margin_l - 6, y + 4, f"{pct}%", size=10, anchor="end")
+
+    for gi, row in enumerate(rows):
+        x0 = margin_l + gi * group_w + 4
+        acc = 0.0
+        for ci, cell in enumerate(row[1:]):
+            share = parse_cell(cell.rstrip("%")) or 0.0
+            h = plot_h * share / 100
+            y = margin_t + plot_h * (1 - acc / 100) - h
+            svg.rect(x0, y, group_w - 8, h, PALETTE[ci % len(PALETTE)])
+            acc += share
+        svg.text(margin_l + gi * group_w + group_w / 2, margin_t + plot_h + 12, row[0],
+                 size=9, anchor="end", rotate=-45.0)
+
+    lx = margin_l + plot_w + 12
+    for ci, kernel in enumerate(kernels):
+        ly = margin_t + 16 * ci
+        svg.rect(lx, ly, 10, 10, PALETTE[ci % len(PALETTE)])
+        svg.text(lx + 14, ly + 9, kernel, size=10, anchor="start")
+    svg.save(out_path)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    in_dir = Path(argv[1])
+    out_dir = Path(argv[2]) if len(argv) > 2 else in_dir
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    rendered = 0
+    for stem, title in RATIO_FIGURES.items():
+        src = in_dir / f"{stem}.csv"
+        if src.exists():
+            render_ratio_figure(src, title, out_dir / f"{stem}.svg")
+            rendered += 1
+    for stem, title in STACKED_FIGURES.items():
+        src = in_dir / f"{stem}.csv"
+        if src.exists():
+            render_stacked_figure(src, title, out_dir / f"{stem}.svg")
+            rendered += 1
+    print(f"rendered {rendered} figure(s) into {out_dir}")
+    return 0 if rendered else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full reproduction driver: build, test, run every table/figure benchmark,
+# and render the figures as SVGs.
+#
+#   scripts/run_all.sh [--scale=F]      # extra args are passed to the benches
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+mkdir -p bench_results
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    if [ "$(basename "$b")" = micro_dsu ]; then
+      "$b"
+    else
+      "$b" --csv-dir=bench_results "$@"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+python3 scripts/plot_figures.py bench_results bench_results
+echo "done: tables in bench_output.txt, CSVs + SVGs in bench_results/"

@@ -1,0 +1,23 @@
+// Ligra+ "BFSCC"-style connected components [21]: sweep the vertices and
+// run a direction-optimizing parallel BFS (graph/bfs.h — Ligra's engine)
+// from every still-unvisited one, labeling everything reached with the
+// source's ID.
+#include "baselines/baselines.h"
+#include "graph/bfs.h"
+
+namespace ecl::baselines {
+
+std::vector<vertex_t> bfs_cc(const Graph& g, int threads) {
+  const vertex_t n = g.num_vertices();
+  std::vector<vertex_t> label(n, kInvalidVertex);
+  BfsOptions opts;
+  opts.num_threads = threads;
+  for (vertex_t source = 0; source < n; ++source) {
+    if (label[source] == kInvalidVertex) {
+      (void)bfs_label(g, source, source, label, opts);
+    }
+  }
+  return label;
+}
+
+}  // namespace ecl::baselines

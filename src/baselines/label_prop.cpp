@@ -1,0 +1,88 @@
+// Ligra+ "Comp"-style label propagation [22]: edgeMap over a sparse
+// frontier with writeMin, keeping the previous label of every vertex so
+// that "only vertices whose label has changed in the prior iteration" are
+// processed again. Work per iteration is proportional to the frontier's
+// degree sum, not to n.
+#include <atomic>
+#include <omp.h>
+
+#include "baselines/baselines.h"
+
+namespace ecl::baselines {
+
+namespace {
+
+/// Atomically lowers `slot` to `value`; returns true if it strictly
+/// decreased (Ligra's writeMin).
+bool write_min(vertex_t& slot, vertex_t value) {
+  std::atomic_ref<vertex_t> ref(slot);
+  vertex_t observed = ref.load(std::memory_order_relaxed);
+  while (value < observed) {
+    if (ref.compare_exchange_weak(observed, value, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Claims membership in the next frontier exactly once (Ligra's CAS-based
+/// duplicate removal in edgeMapSparse).
+bool claim(std::uint8_t& flag) {
+  std::atomic_ref<std::uint8_t> ref(flag);
+  std::uint8_t expected = 0;
+  return ref.compare_exchange_strong(expected, 1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::vector<vertex_t> label_prop(const Graph& g, int threads) {
+  const vertex_t n = g.num_vertices();
+  const int nt = threads > 0 ? threads : omp_get_max_threads();
+  std::vector<vertex_t> label(n);
+  std::vector<vertex_t> prev(n);
+  std::vector<std::uint8_t> in_next(n, 0);
+  for (vertex_t v = 0; v < n; ++v) {
+    label[v] = v;
+    prev[v] = v;
+  }
+
+  // Initial frontier: every vertex.
+  std::vector<vertex_t> frontier(n);
+  for (vertex_t v = 0; v < n; ++v) frontier[v] = v;
+  std::vector<vertex_t> next;
+
+  while (!frontier.empty()) {
+    next.clear();
+#pragma omp parallel num_threads(nt)
+    {
+      std::vector<vertex_t> local;
+#pragma omp for schedule(guided) nowait
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const vertex_t v = frontier[i];
+        // Snapshot the label this vertex propagates this round. prev[] is
+        // shared, so all accesses are relaxed-atomic; a stale (higher) read
+        // only costs a failed writeMin, never a missed update, because
+        // prev[u] >= label[u] holds at all times.
+        const vertex_t mine = std::atomic_ref<vertex_t>(label[v]).load(std::memory_order_relaxed);
+        std::atomic_ref<vertex_t>(prev[v]).store(mine, std::memory_order_relaxed);
+        for (const vertex_t u : g.neighbors(v)) {
+          const vertex_t prev_u =
+              std::atomic_ref<vertex_t>(prev[u]).load(std::memory_order_relaxed);
+          if (mine < prev_u && write_min(label[u], mine)) {
+            if (claim(in_next[u])) local.push_back(u);
+          }
+        }
+      }
+#pragma omp critical(labelprop_merge)
+      next.insert(next.end(), local.begin(), local.end());
+    }
+    std::swap(frontier, next);
+#pragma omp parallel for schedule(static) num_threads(nt)
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      in_next[frontier[i]] = 0;
+    }
+  }
+  return label;
+}
+
+}  // namespace ecl::baselines

@@ -1,0 +1,93 @@
+// Multistep CC [33]: (1) one level-synchronous parallel BFS rooted at the
+// maximum-degree vertex — expected to swallow the giant component; (2)
+// parallel label propagation restricted to the untouched subgraph; (3) a
+// serial union-find tail once only a few vertices remain.
+#include <atomic>
+#include <omp.h>
+
+#include <algorithm>
+
+#include "baselines/baselines.h"
+#include "dsu/disjoint_set.h"
+#include "graph/bfs.h"
+
+namespace ecl::baselines {
+
+namespace {
+
+constexpr vertex_t kSerialCutoff = 4096;  // few enough vertices: finish serially
+
+}  // namespace
+
+std::vector<vertex_t> multistep(const Graph& g, int threads) {
+  const vertex_t n = g.num_vertices();
+  const int nt = threads > 0 ? threads : omp_get_max_threads();
+  std::vector<vertex_t> label(n, kInvalidVertex);
+  if (n == 0) return label;
+
+  // Step 1: parallel level-synchronous BFS from the max-degree vertex
+  // (expected to swallow the giant component), using the shared BFS engine.
+  vertex_t root = 0;
+  for (vertex_t v = 1; v < n; ++v) {
+    if (g.degree(v) > g.degree(root)) root = v;
+  }
+  BfsOptions bfs_opts;
+  bfs_opts.num_threads = nt;
+  (void)bfs_label(g, root, root, label, bfs_opts);
+
+  // Collect the vertices the BFS did not reach.
+  std::vector<vertex_t> rest;
+  for (vertex_t v = 0; v < n; ++v) {
+    if (label[v] == kInvalidVertex) rest.push_back(v);
+  }
+
+  if (rest.size() > kSerialCutoff) {
+    // Step 2: label propagation on the remaining subgraph (all neighbors of
+    // a remaining vertex are themselves remaining: BFS exhausted its
+    // component).
+    for (const vertex_t v : rest) label[v] = v;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+#pragma omp parallel for schedule(guided) num_threads(nt) reduction(|| : changed)
+      for (std::size_t i = 0; i < rest.size(); ++i) {
+        const vertex_t v = rest[i];
+        vertex_t best = label[v];
+        for (const vertex_t u : g.neighbors(v)) {
+          best = std::min(best, label[u]);
+        }
+        if (best < label[v]) {
+          label[v] = best;
+          changed = true;
+        }
+      }
+    }
+    // Compress propagation chains: label[v] may point at a vertex whose own
+    // label moved on; iterate to the fixed point serially (cheap: the
+    // propagation above already did the heavy lifting).
+    for (const vertex_t v : rest) {
+      vertex_t l = label[v];
+      while (label[l] != l) l = label[l];
+      label[v] = l;
+    }
+  } else if (!rest.empty()) {
+    // Step 3: serial tail with union-find.
+    DisjointSet ds(n);
+    for (const vertex_t v : rest) {
+      for (const vertex_t u : g.neighbors(v)) {
+        if (u < v) ds.unite(v, u);
+      }
+    }
+    // Canonicalize to the minimum vertex of each set: roots are not
+    // guaranteed minimal under union by rank, so stage the minimum at the
+    // root first. `rest` is ascending, so the first writer is the minimum.
+    for (const vertex_t v : rest) {
+      const vertex_t r = ds.find(v);
+      if (label[r] == kInvalidVertex) label[r] = v;
+    }
+    for (const vertex_t v : rest) label[v] = label[ds.find(v)];
+  }
+  return label;
+}
+
+}  // namespace ecl::baselines

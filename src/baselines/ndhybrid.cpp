@@ -1,0 +1,152 @@
+// ndHybrid-style connectivity [30]: Shun, Dhulipala & Blelloch's simple and
+// practical linear-work algorithm.
+//
+//   1. Low-diameter decomposition: grow BFS balls concurrently. Ball centers
+//      are admitted in exponentially growing batches (the beta-decay
+//      schedule), so early centers capture big low-diameter chunks and late
+//      stragglers get their own partitions.
+//   2. Contract every partition to a single super-vertex and keep only the
+//      deduplicated edges that cross partitions.
+//   3. Recurse on the contracted graph until no cross edges remain, then
+//      propagate the labels back down.
+#include <atomic>
+#include <omp.h>
+
+#include <algorithm>
+
+#include "baselines/baselines.h"
+#include "common/rng.h"
+#include "graph/builder.h"
+
+namespace ecl::baselines {
+
+namespace {
+
+constexpr double kBeta = 0.2;  // decomposition rate (paper uses beta ~ 0.2)
+
+/// One round of low-diameter decomposition. Returns partition[v] in [0, n)
+/// (the center vertex of v's ball).
+std::vector<vertex_t> low_diameter_decomposition(const Graph& g, int nt,
+                                                 std::uint64_t seed) {
+  const vertex_t n = g.num_vertices();
+  std::vector<vertex_t> partition(n, kInvalidVertex);
+
+  // Random center order, deterministic in the seed.
+  std::vector<vertex_t> order(n);
+  for (vertex_t v = 0; v < n; ++v) order[v] = v;
+  Xoshiro256 rng(seed);
+  for (vertex_t v = n; v > 1; --v) {
+    std::swap(order[v - 1], order[rng.bounded(v)]);
+  }
+
+  std::vector<vertex_t> frontier;
+  std::vector<vertex_t> next;
+  std::size_t admitted = 0;
+  double batch = 1.0;
+
+  while (admitted < n || !frontier.empty()) {
+    // Admit the next exponentially larger batch of centers (skipping
+    // vertices already swallowed by an earlier ball).
+    const auto want = static_cast<std::size_t>(batch);
+    std::size_t added = 0;
+    while (admitted < n && added < want) {
+      const vertex_t c = order[admitted++];
+      if (partition[c] == kInvalidVertex) {
+        partition[c] = c;
+        frontier.push_back(c);
+        ++added;
+      }
+    }
+    batch *= 1.0 + kBeta;
+
+    // Expand every active ball by one level, concurrently. First-touch
+    // claims a vertex for the toucher's partition (CAS-arbitrated).
+    next.clear();
+#pragma omp parallel num_threads(nt)
+    {
+      std::vector<vertex_t> local;
+#pragma omp for schedule(guided) nowait
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const vertex_t v = frontier[i];
+        const vertex_t center = partition[v];
+        for (const vertex_t u : g.neighbors(v)) {
+          std::atomic_ref<vertex_t> slot(partition[u]);
+          vertex_t expected = kInvalidVertex;
+          if (slot.load(std::memory_order_relaxed) == kInvalidVertex &&
+              slot.compare_exchange_strong(expected, center, std::memory_order_relaxed)) {
+            local.push_back(u);
+          }
+        }
+      }
+#pragma omp critical(ldd_merge)
+      next.insert(next.end(), local.begin(), local.end());
+    }
+    std::swap(frontier, next);
+  }
+  return partition;
+}
+
+std::vector<vertex_t> solve(const Graph& g, int nt, int depth) {
+  const vertex_t n = g.num_vertices();
+  const auto partition = low_diameter_decomposition(g, nt, 0x9d5ULL + depth);
+
+  // Gather cross-partition edges; if none, the partitions are the final
+  // components.
+  std::vector<Edge> cross;
+  for (vertex_t v = 0; v < n; ++v) {
+    for (const vertex_t u : g.neighbors(v)) {
+      if (v < u && partition[v] != partition[u]) {
+        cross.emplace_back(partition[v], partition[u]);
+      }
+    }
+  }
+  if (cross.empty()) return partition;
+
+  // Contract: relabel partition centers densely, recurse, and map back.
+  std::vector<vertex_t> dense(n, kInvalidVertex);
+  vertex_t num_parts = 0;
+  for (vertex_t v = 0; v < n; ++v) {
+    if (partition[v] == v) dense[v] = num_parts++;
+  }
+  for (auto& [a, b] : cross) {
+    a = dense[a];
+    b = dense[b];
+  }
+  const Graph contracted = build_graph(num_parts, cross);
+  const auto sub_labels = solve(contracted, nt, depth + 1);
+
+  // sub_labels index the dense space; translate back to original vertex IDs
+  // via the minimum original center in each super-component.
+  std::vector<vertex_t> center_of(num_parts, kInvalidVertex);
+  for (vertex_t v = 0; v < n; ++v) {
+    if (partition[v] == v) center_of[dense[v]] = v;
+  }
+  std::vector<vertex_t> super_min(num_parts, kInvalidVertex);
+  for (vertex_t d = 0; d < num_parts; ++d) {
+    const vertex_t root = sub_labels[d];
+    super_min[root] = std::min(super_min[root], center_of[d]);
+  }
+  std::vector<vertex_t> labels(n);
+#pragma omp parallel for schedule(static) num_threads(nt)
+  for (vertex_t v = 0; v < n; ++v) {
+    labels[v] = super_min[sub_labels[dense[partition[v]]]];
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::vector<vertex_t> ndhybrid(const Graph& g, int threads) {
+  if (g.num_vertices() == 0) return {};
+  const int nt = threads > 0 ? threads : omp_get_max_threads();
+  auto labels = solve(g, nt, 0);
+  // The decomposition labels by ball center; canonicalize to component
+  // minima so results compare directly with the other implementations.
+  const vertex_t n = g.num_vertices();
+  std::vector<vertex_t> min_of(n, kInvalidVertex);
+  for (vertex_t v = 0; v < n; ++v) min_of[labels[v]] = std::min(min_of[labels[v]], v);
+  for (vertex_t v = 0; v < n; ++v) labels[v] = min_of[labels[v]];
+  return labels;
+}
+
+}  // namespace ecl::baselines

@@ -1,0 +1,71 @@
+#include "baselines/registry.h"
+
+#include "core/ecl_cc.h"
+
+namespace ecl::baselines {
+
+namespace {
+
+/// Adapts a plain (Graph, threads) function: no native conversion needed,
+/// the runner just closes over the CSR.
+template <typename Fn>
+std::function<CcRunner(const Graph&, int)> direct(Fn fn) {
+  return [fn](const Graph& g, int threads) -> CcRunner {
+    return [fn, &g, threads] { return fn(g, threads); };
+  };
+}
+
+std::vector<CcCode> build_parallel() {
+  std::vector<CcCode> codes;
+  codes.push_back({"ECL-CComp",
+                   direct([](const Graph& g, int t) {
+                     EclOptions opts;
+                     opts.num_threads = t;
+                     return ecl_cc_omp(g, opts);
+                   }),
+                   [](const Graph&) { return true; }});
+  codes.push_back({"Ligra+ BFSCC", direct([](const Graph& g, int t) { return bfs_cc(g, t); }),
+                   [](const Graph&) { return true; }});
+  codes.push_back(
+      {"Ligra+ Comp", direct([](const Graph& g, int t) { return label_prop(g, t); }),
+       [](const Graph&) { return true; }});
+  codes.push_back({"CRONO",
+                   [](const Graph& g, int t) { return make_crono_runner(g, t); },
+                   [](const Graph& g) { return crono_supports(g); }});
+  codes.push_back({"ndHybrid", direct([](const Graph& g, int t) { return ndhybrid(g, t); }),
+                   [](const Graph&) { return true; }});
+  codes.push_back({"Multistep", direct([](const Graph& g, int t) { return multistep(g, t); }),
+                   [](const Graph&) { return true; }});
+  codes.push_back({"Galois", direct([](const Graph& g, int t) { return galois_async(g, t); }),
+                   [](const Graph&) { return true; }});
+  return codes;
+}
+
+std::vector<CcCode> build_serial() {
+  std::vector<CcCode> codes;
+  codes.push_back({"ECL-CCser", direct([](const Graph& g, int) { return ecl_cc_serial(g); }),
+                   [](const Graph&) { return true; }});
+  codes.push_back({"Galois", direct([](const Graph& g, int) { return galois_serial(g); }),
+                   [](const Graph&) { return true; }});
+  codes.push_back({"Boost", [](const Graph& g, int) { return make_boost_runner(g); },
+                   [](const Graph&) { return true; }});
+  codes.push_back({"Lemon", [](const Graph& g, int) { return make_lemon_runner(g); },
+                   [](const Graph&) { return true; }});
+  codes.push_back({"igraph", [](const Graph& g, int) { return make_igraph_runner(g); },
+                   [](const Graph&) { return true; }});
+  return codes;
+}
+
+}  // namespace
+
+const std::vector<CcCode>& parallel_cpu_codes() {
+  static const auto codes = build_parallel();
+  return codes;
+}
+
+const std::vector<CcCode>& serial_cpu_codes() {
+  static const auto codes = build_serial();
+  return codes;
+}
+
+}  // namespace ecl::baselines

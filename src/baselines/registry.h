@@ -1,0 +1,38 @@
+// A uniform registry of every CC implementation, named as in the paper's
+// tables, so the benchmark harness can sweep them mechanically.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "graph/graph.h"
+
+namespace ecl::baselines {
+
+struct CcCode {
+  /// Name as printed in the paper's tables (e.g. "Ligra+ BFSCC").
+  std::string name;
+  /// Builds the code's native representation of the graph (untimed — the
+  /// paper's "graph conversion", §4) and returns the timed CC computation.
+  std::function<CcRunner(const Graph&, int threads)> prepare;
+  /// False when the code cannot handle the input (CRONO's n x dmax matrix);
+  /// benches print "n/a" as the paper does.
+  std::function<bool(const Graph&)> supports = [](const Graph&) { return true; };
+
+  /// Convenience: prepare + execute in one call.
+  [[nodiscard]] std::vector<vertex_t> run(const Graph& g, int threads) const {
+    return prepare(g, threads)();
+  }
+};
+
+/// Parallel CPU codes of the paper's Fig. 13/14 + Tables 7/8:
+/// ECL-CC_OMP, Ligra+ BFSCC, Ligra+ Comp, CRONO, ndHybrid, Multistep, Galois.
+[[nodiscard]] const std::vector<CcCode>& parallel_cpu_codes();
+
+/// Serial CPU codes of the paper's Fig. 15/16 + Tables 9/10:
+/// ECL-CC_SER, Galois, Boost, Lemon, igraph.
+[[nodiscard]] const std::vector<CcCode>& serial_cpu_codes();
+
+}  // namespace ecl::baselines

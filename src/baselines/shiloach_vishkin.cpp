@@ -1,0 +1,59 @@
+// Shiloach & Vishkin's O(log n) parallel connectivity algorithm [28]:
+// repeated parallel hooking over all edges followed by parallel pointer
+// jumping, iterated until a fixed point.
+#include <atomic>
+#include <omp.h>
+
+#include "baselines/baselines.h"
+
+namespace ecl::baselines {
+
+std::vector<vertex_t> shiloach_vishkin(const Graph& g, int threads) {
+  const vertex_t n = g.num_vertices();
+  const int nt = threads > 0 ? threads : omp_get_max_threads();
+  std::vector<vertex_t> label(n);
+  for (vertex_t v = 0; v < n; ++v) label[v] = v;
+
+  bool changed = n > 0;
+  while (changed) {
+    changed = false;
+
+    // Hooking: for every edge (u, w), if u's parent is a root and w carries
+    // a smaller label, hook u's root under it. Races are resolved by the
+    // monotone min rule: labels only ever decrease, so a lost update is
+    // redone in a later iteration.
+#pragma omp parallel for schedule(guided) num_threads(nt) reduction(|| : changed)
+    for (vertex_t u = 0; u < n; ++u) {
+      for (const vertex_t w : g.neighbors(u)) {
+        const vertex_t pu = label[u];
+        const vertex_t pw = label[w];
+        if (pw < pu && pu == label[pu]) {
+          std::atomic_ref<vertex_t> root(label[pu]);
+          vertex_t expected = pu;
+          if (root.compare_exchange_strong(expected, pw, std::memory_order_relaxed)) {
+            changed = true;
+          }
+        }
+      }
+    }
+
+    // Pointer jumping: label[v] <- label[label[v]] until every path has
+    // length one.
+    bool jumped = true;
+    while (jumped) {
+      jumped = false;
+#pragma omp parallel for schedule(static) num_threads(nt) reduction(|| : jumped)
+      for (vertex_t v = 0; v < n; ++v) {
+        const vertex_t p = label[v];
+        const vertex_t pp = label[p];
+        if (p != pp) {
+          label[v] = pp;
+          jumped = true;
+        }
+      }
+    }
+  }
+  return label;
+}
+
+}  // namespace ecl::baselines

@@ -1,0 +1,64 @@
+#include "common/cli.h"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace ecl {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      flags_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+    } else {
+      // Bare flag. Values must use the unambiguous "--key=value" form so
+      // that "--verbose positional" does not swallow the positional.
+      flags_.emplace(std::string(arg), std::string());
+    }
+  }
+}
+
+bool CliArgs::has(std::string_view name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return false;
+  used_[it->first] = true;
+  return true;
+}
+
+std::string CliArgs::get(std::string_view name, std::string fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  used_[it->first] = true;
+  return it->second;
+}
+
+std::int64_t CliArgs::get_int(std::string_view name, std::int64_t fallback) const {
+  const std::string value = get(name, "");
+  if (value.empty()) return fallback;
+  std::int64_t out = fallback;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  return (ec == std::errc() && ptr == value.data() + value.size()) ? out : fallback;
+}
+
+double CliArgs::get_double(std::string_view name, double fallback) const {
+  const std::string value = get(name, "");
+  if (value.empty()) return fallback;
+  char* end = nullptr;
+  const double out = std::strtod(value.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? out : fallback;
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, _] : flags_) {
+    if (const auto it = used_.find(key); it == used_.end() || !it->second) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace ecl

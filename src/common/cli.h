@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for examples and benchmark binaries.
+//
+// Supports bare "--flag" switches, "--key=value" pairs, and positional
+// arguments. Unknown flags are reported so typos do not silently fall back
+// to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecl {
+
+class CliArgs {
+ public:
+  /// Parses argv. Does not throw; malformed input becomes positional args.
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if "--name" (with or without a value) was supplied.
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  /// String value of "--name", or `fallback` if absent.
+  [[nodiscard]] std::string get(std::string_view name, std::string fallback) const;
+
+  /// Integer value of "--name", or `fallback` if absent/non-numeric.
+  [[nodiscard]] std::int64_t get_int(std::string_view name, std::int64_t fallback) const;
+
+  /// Floating-point value of "--name", or `fallback` if absent/non-numeric.
+  [[nodiscard]] double get_double(std::string_view name, double fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were supplied but never queried through has/get*. Call after
+  /// all lookups to warn about typos.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> flags_;
+  mutable std::map<std::string, bool, std::less<>> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ecl

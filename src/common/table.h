@@ -1,0 +1,53 @@
+// A small result-table builder that renders the paper-style tables
+// (markdown for the console, CSV for post-processing).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecl {
+
+/// Column-oriented table of strings with a caption. Cells are formatted by
+/// the caller (so runtimes, ratios and counts keep their intended precision)
+/// and rendered aligned.
+class Table {
+ public:
+  explicit Table(std::string caption) : caption_(std::move(caption)) {}
+
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  [[nodiscard]] const std::string& caption() const { return caption_; }
+
+  /// Renders an aligned markdown table (with caption) to `os`.
+  void write_markdown(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (no caption) to `os`.
+  void write_csv(std::ostream& os) const;
+
+  /// Writes CSV to `path`; returns false if the file cannot be opened.
+  bool save_csv(const std::string& path) const;
+
+  // --- cell formatting helpers -------------------------------------------
+
+  /// Fixed-precision decimal, e.g. fmt(1.8349, 2) -> "1.83".
+  static std::string fmt(double value, int precision);
+
+  /// Thousands-separated integer, e.g. "4,886,816" (paper Table 2 style).
+  static std::string fmt_count(std::uint64_t value);
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ecl

@@ -1,0 +1,32 @@
+// Wall-clock timing utilities used by benchmarks and the harness.
+#pragma once
+
+#include <chrono>
+
+namespace ecl {
+
+/// Monotonic wall-clock stopwatch with millisecond/microsecond readouts.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ecl

@@ -1,0 +1,114 @@
+// ECL-CC: the paper's connected-components algorithm (CPU ports).
+//
+// Three fully parallel phases (§3):
+//   1. initialization — seed each vertex's parent with a good starting label
+//      (Init3: the first adjacency-list neighbor with a smaller ID),
+//   2. computation    — process every undirected edge exactly once, in one
+//      direction only (v > u), hooking the larger representative under the
+//      smaller with a CAS and compressing paths by intermediate pointer
+//      jumping (path halving) along the way,
+//   3. finalization   — point every vertex's parent directly at its
+//      representative so the parent array *is* the label array.
+//
+// On completion, label[v] is the smallest vertex ID in v's component (the
+// minimum vertex can never be re-hooked, so it remains the root), which
+// makes results directly comparable across all implementations.
+//
+// The serial variant omits atomics and the CAS retry loop; the OpenMP
+// variant parallelizes the outer vertex loop of each phase with a guided
+// schedule, exactly as described in §3.
+#pragma once
+
+#include <vector>
+
+#include "dsu/find.h"
+#include "graph/graph.h"
+
+namespace ecl {
+
+/// Initialization flavour (paper §5.1, Fig. 7).
+enum class InitPolicy {
+  kSelf = 1,                  // Init1: parent[v] = v
+  kMinNeighbor = 2,           // Init2: smallest neighbor ID (or v)
+  kFirstSmallerNeighbor = 3,  // Init3: first neighbor with smaller ID (ECL-CC)
+};
+
+/// Finalization flavour (paper §5.1, Fig. 9).
+enum class FinalizePolicy {
+  kIntermediate = 1,  // Fini1: path halving
+  kMultiple = 2,      // Fini2: two-pass full compression
+  kSingle = 3,        // Fini3: walk then single write (ECL-CC)
+};
+
+[[nodiscard]] constexpr const char* init_policy_name(InitPolicy p) {
+  switch (p) {
+    case InitPolicy::kSelf:
+      return "Init1 (own ID)";
+    case InitPolicy::kMinNeighbor:
+      return "Init2 (min neighbor)";
+    case InitPolicy::kFirstSmallerNeighbor:
+      return "Init3 (first smaller)";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* finalize_policy_name(FinalizePolicy p) {
+  switch (p) {
+    case FinalizePolicy::kIntermediate:
+      return "Fini1 (intermediate)";
+    case FinalizePolicy::kMultiple:
+      return "Fini2 (multiple)";
+    case FinalizePolicy::kSingle:
+      return "Fini3 (single)";
+  }
+  return "?";
+}
+
+/// Tunable knobs; the defaults are the published ECL-CC configuration.
+struct EclOptions {
+  InitPolicy init = InitPolicy::kFirstSmallerNeighbor;
+  JumpPolicy jump = JumpPolicy::kIntermediate;
+  FinalizePolicy finalize = FinalizePolicy::kSingle;
+  /// OpenMP thread count for ecl_cc_omp; 0 = runtime default.
+  int num_threads = 0;
+};
+
+/// Wall-clock milliseconds per phase, for breakdown reporting.
+struct PhaseTimes {
+  double init_ms = 0.0;
+  double compute_ms = 0.0;
+  double finalize_ms = 0.0;
+  [[nodiscard]] double total_ms() const { return init_ms + compute_ms + finalize_ms; }
+};
+
+/// Serial ECL-CC. Returns the label array (label[v] = min vertex ID of v's
+/// component). `times`, if non-null, receives the per-phase breakdown.
+[[nodiscard]] std::vector<vertex_t> ecl_cc_serial(const Graph& g, const EclOptions& opts = {},
+                                                  PhaseTimes* times = nullptr);
+
+/// OpenMP-parallel ECL-CC (the paper's ECL-CC_OMP).
+[[nodiscard]] std::vector<vertex_t> ecl_cc_omp(const Graph& g, const EclOptions& opts = {},
+                                               PhaseTimes* times = nullptr);
+
+/// OpenMP ECL-CC with a GPU-style degree-bucketed compute phase: vertices
+/// are split into low/mid/high-degree buckets (the GPU pipeline's 16/352
+/// thresholds) and each bucket runs with a schedule suited to its work
+/// granularity. Exists to validate the paper's §3 decision that the CPU
+/// port "only has a single computation function and requires no worklist"
+/// (see bench/ablation_cpu_worklist); produces identical labels.
+[[nodiscard]] std::vector<vertex_t> ecl_cc_omp_bucketed(const Graph& g,
+                                                        const EclOptions& opts = {},
+                                                        PhaseTimes* times = nullptr);
+
+/// Path-length statistics of the computation phase (paper Table 4): runs
+/// serial ECL-CC with instrumented finds and reports the average and maximum
+/// traversed path length.
+struct PathLengthReport {
+  double average_length = 0.0;  // per find, in parent-pointer hops
+  std::uint64_t maximum_length = 0;
+  std::uint64_t num_finds = 0;
+};
+[[nodiscard]] PathLengthReport ecl_cc_path_lengths(const Graph& g,
+                                                   const EclOptions& opts = {});
+
+}  // namespace ecl

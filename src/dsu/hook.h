@@ -1,0 +1,53 @@
+// The hooking (union) operation of the paper's Fig. 6, as an algorithm
+// template shared by the serial, OpenMP and simulated-GPU implementations.
+#pragma once
+
+#include <algorithm>
+
+#include "dsu/find.h"
+#include "dsu/parent_ops.h"
+
+namespace ecl {
+
+/// Hooks the edge whose endpoint representatives are currently `v_rep` and
+/// `u_rep` (the latter freshly computed by the caller): the larger
+/// representative's parent is pointed at the smaller via CAS, retrying until
+/// no other thread interferes (paper Fig. 6 lines 3-20).
+///
+/// Returns the common representative after the hook (the smaller of the two
+/// final representatives), which callers keep as the running `v_rep` for the
+/// remaining edges of the same vertex.
+template <ParentOps Ops>
+vertex_t hook_representatives(vertex_t v_rep, vertex_t u_rep, Ops ops) {
+  bool repeat;
+  do {
+    repeat = false;
+    if (v_rep != u_rep) {
+      vertex_t ret;
+      if (v_rep < u_rep) {
+        if ((ret = ops.cas(u_rep, u_rep, v_rep)) != u_rep) {
+          u_rep = ret;
+          repeat = true;
+        }
+      } else {
+        if ((ret = ops.cas(v_rep, v_rep, u_rep)) != v_rep) {
+          v_rep = ret;
+          repeat = true;
+        }
+      }
+    }
+  } while (repeat);
+  return std::min(v_rep, u_rep);
+}
+
+/// Full edge processing for edge (v, u) given v's current representative:
+/// find u's representative with the configured pointer-jumping flavour, then
+/// hook. Callers must already have filtered to one direction (v > u).
+template <ParentOps Ops>
+vertex_t process_edge(JumpPolicy jump, vertex_t v_rep, vertex_t u, Ops ops,
+                      PathLengthRecorder* rec = nullptr) {
+  const vertex_t u_rep = find_repres(jump, u, ops, rec);
+  return hook_representatives(v_rep, u_rep, ops);
+}
+
+}  // namespace ecl

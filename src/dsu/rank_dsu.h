@@ -1,0 +1,122 @@
+// Lock-free concurrent union-find with randomized linking — the classic
+// alternative to ECL-CC's link-by-minimum-ID strategy, provided for
+// comparison (the paper builds on Patwary, Refsnes & Manne [27], who study
+// this design space for multi-core spanning-forest codes; randomized
+// static-priority linking is analyzed by Jayanti & Tarjan).
+//
+// Every vertex gets a fixed random priority at construction; a union always
+// links the root with the higher (priority, ID) pair under the lower one.
+// Because the order is *static and total*, no sequence of concurrent CASes
+// can create a cycle — the same argument that makes ECL's link-by-minimum
+// safe, but with balanced expected tree heights on adversarial ID
+// orderings. (A mutable union-by-rank order is NOT safe lock-free: stale
+// rank reads can cycle; this class exists to offer the safe balanced
+// alternative.)
+//
+// Trade-off vs ConcurrentDisjointSet: representatives are arbitrary
+// vertices rather than component minima, so labelings need a
+// canonicalization pass (labels()).
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ecl {
+
+class RandomPriorityDisjointSet {
+ public:
+  explicit RandomPriorityDisjointSet(vertex_t n, std::uint64_t seed = 0x9E3779B9ULL)
+      : parent_(n), priority_(n) {
+    SplitMix64 sm(seed);
+    for (vertex_t v = 0; v < n; ++v) {
+      parent_[v] = v;
+      priority_[v] = sm.next();
+    }
+  }
+
+  /// Representative of v's set (path halving). Thread-safe.
+  [[nodiscard]] vertex_t find(vertex_t v) {
+    while (true) {
+      const vertex_t par = load(v);
+      if (par == v) return v;
+      const vertex_t grand = load(par);
+      if (grand == par) return par;
+      // Halve: benign race, any stored value is a valid waypoint.
+      cas(v, par, grand);
+      v = grand;
+    }
+  }
+
+  /// Merges the sets of a and b. Thread-safe, lock-free.
+  void unite(vertex_t a, vertex_t b) {
+    while (true) {
+      const vertex_t ra = find(a);
+      const vertex_t rb = find(b);
+      if (ra == rb) return;
+      // The root with the higher static (priority, ID) pair loses and is
+      // linked under the other. The order never changes, so links strictly
+      // descend it and cycles are impossible.
+      vertex_t winner = ra;
+      vertex_t loser = rb;
+      if (before(ra, rb)) {
+        winner = ra;
+        loser = rb;
+      } else {
+        winner = rb;
+        loser = ra;
+      }
+      if (cas(loser, loser, winner)) return;
+      // Interference: someone else linked `loser` first; retry from fresh
+      // finds (a, b now share deeper trees).
+    }
+  }
+
+  [[nodiscard]] bool same(vertex_t a, vertex_t b) { return find(a) == find(b); }
+
+  /// Number of sets (call at quiescence).
+  [[nodiscard]] vertex_t count() const {
+    vertex_t sets = 0;
+    for (vertex_t v = 0; v < size(); ++v) {
+      if (parent_[v] == v) ++sets;
+    }
+    return sets;
+  }
+
+  [[nodiscard]] vertex_t size() const { return static_cast<vertex_t>(parent_.size()); }
+
+  /// Canonical component-minimum labeling (call at quiescence).
+  [[nodiscard]] std::vector<vertex_t> labels() {
+    const vertex_t n = size();
+    std::vector<vertex_t> min_of(n, kInvalidVertex);
+    for (vertex_t v = 0; v < n; ++v) {
+      const vertex_t r = find(v);
+      if (v < min_of[r]) min_of[r] = v;
+    }
+    std::vector<vertex_t> out(n);
+    for (vertex_t v = 0; v < n; ++v) out[v] = min_of[find(v)];
+    return out;
+  }
+
+ private:
+  /// True if a precedes b in the static linking order (a would win).
+  [[nodiscard]] bool before(vertex_t a, vertex_t b) const {
+    return priority_[a] < priority_[b] || (priority_[a] == priority_[b] && a < b);
+  }
+
+  [[nodiscard]] vertex_t load(vertex_t i) const {
+    return std::atomic_ref<vertex_t>(const_cast<vertex_t&>(parent_[i]))
+        .load(std::memory_order_relaxed);
+  }
+  bool cas(vertex_t i, vertex_t expected, vertex_t desired) {
+    return std::atomic_ref<vertex_t>(parent_[i])
+        .compare_exchange_strong(expected, desired, std::memory_order_relaxed);
+  }
+
+  std::vector<vertex_t> parent_;
+  std::vector<std::uint64_t> priority_;
+};
+
+}  // namespace ecl

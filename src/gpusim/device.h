@@ -1,0 +1,292 @@
+// The virtual GPU: device memory, SIMT-style kernel launches, atomics, and
+// per-kernel statistics.
+//
+// Execution model: a kernel is a C++ callable invoked once per virtual
+// thread. Thread blocks are distributed round-robin over the SMs and every
+// memory access is routed through the simulated L1/L2 hierarchy of
+// MemorySystem, accumulating cycles on the owning SM. A kernel's simulated
+// runtime is the maximum per-SM cycle count divided by (clock x overlap
+// factor), plus a fixed launch overhead — a first-order model in which
+// runtime is driven by memory traffic and locality, the effects the paper's
+// §5.1 shows dominate CC performance on real GPUs.
+//
+// Functionally the simulation is single-threaded and deterministic: threads
+// run to completion in block/thread order. For ECL-CC this only removes the
+// benign races of §3 (any interleaving yields correct labels), so
+// correctness results carry over exactly.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/cache.h"
+#include "gpusim/spec.h"
+
+namespace ecl::gpusim {
+
+class Device;
+
+/// Execution context of one virtual thread, passed to kernel bodies.
+class ThreadCtx {
+ public:
+  ThreadCtx(Device& device, std::uint32_t sm, std::uint32_t block, std::uint32_t thread,
+            std::uint32_t block_size, std::uint32_t num_blocks)
+      : device_(device),
+        sm_(sm),
+        block_(block),
+        thread_(thread),
+        block_size_(block_size),
+        num_blocks_(num_blocks) {}
+
+  /// blockIdx.x * blockDim.x + threadIdx.x
+  [[nodiscard]] std::uint64_t global_id() const {
+    return static_cast<std::uint64_t>(block_) * block_size_ + thread_;
+  }
+  /// gridDim.x * blockDim.x — the grid-stride loop step.
+  [[nodiscard]] std::uint64_t grid_size() const {
+    return static_cast<std::uint64_t>(num_blocks_) * block_size_;
+  }
+  [[nodiscard]] std::uint32_t block() const { return block_; }
+  [[nodiscard]] std::uint32_t thread_in_block() const { return thread_; }
+  [[nodiscard]] std::uint32_t lane() const;        // index within the warp
+  [[nodiscard]] std::uint32_t warp_in_block() const;
+  [[nodiscard]] std::uint32_t sm() const { return sm_; }
+  [[nodiscard]] Device& device() const { return device_; }
+
+  /// Charges `cycles` to this thread's SM (memory ops do this internally;
+  /// kernels may add explicit compute cost).
+  void add_cycles(std::uint64_t cycles) const;
+
+  /// Counts one issued operation (used for SIMT divergence accounting).
+  void count_op() const { ++ops_; }
+
+  /// Operations issued by this thread so far.
+  [[nodiscard]] std::uint64_t ops() const { return ops_; }
+
+ private:
+  Device& device_;
+  mutable std::uint64_t ops_ = 0;
+  std::uint32_t sm_;
+  std::uint32_t block_;
+  std::uint32_t thread_;
+  std::uint32_t block_size_;
+  std::uint32_t num_blocks_;
+};
+
+/// Statistics of one kernel launch.
+struct KernelStats {
+  std::string name;
+  std::uint32_t num_blocks = 0;
+  std::uint32_t block_size = 0;
+  std::uint64_t max_sm_cycles = 0;  // critical-path SM
+  double time_ms = 0.0;             // modeled runtime incl. launch overhead
+  MemoryCounters memory;            // accesses issued by this launch
+};
+
+/// A typed allocation in simulated device memory. Accesses must go through
+/// the ctx-taking methods so traffic is attributed to the right SM. The
+/// host_* methods are for setup/teardown (cudaMemcpy equivalents) and cost
+/// nothing.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Device-side load of element i.
+  [[nodiscard]] T load(const ThreadCtx& ctx, std::size_t i) const;
+
+  /// Device-side store of element i.
+  void store(const ThreadCtx& ctx, std::size_t i, T value);
+
+  /// CUDA atomicCAS: returns the old value; stores `desired` iff old ==
+  /// `expected`. Resolves at the L2 like hardware atomics.
+  T atomic_cas(const ThreadCtx& ctx, std::size_t i, T expected, T desired);
+
+  /// CUDA atomicAdd: returns the old value.
+  T atomic_add(const ThreadCtx& ctx, std::size_t i, T delta);
+
+  // Host-side (un-timed) access for initialization and result readback.
+  [[nodiscard]] const std::vector<T>& host() const { return data_; }
+  [[nodiscard]] std::vector<T>& host() { return data_; }
+  [[nodiscard]] T host_read(std::size_t i) const { return data_[i]; }
+  void host_write(std::size_t i, T value) { data_[i] = value; }
+
+ private:
+  friend class Device;
+  DeviceBuffer(Device* device, std::uint64_t base_addr, std::size_t count)
+      : device_(device), base_addr_(base_addr), data_(count) {}
+
+  [[nodiscard]] std::uint64_t addr_of(std::size_t i) const {
+    return base_addr_ + i * sizeof(T);
+  }
+
+  Device* device_ = nullptr;
+  std::uint64_t base_addr_ = 0;
+  std::vector<T> data_;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec)
+      : spec_(std::move(spec)),
+        memory_(std::make_unique<MemorySystem>(spec_)),
+        sm_cycles_(spec_.num_sms, 0) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] MemorySystem& memory() { return *memory_; }
+
+  /// Allocates `count` elements of simulated global memory.
+  template <typename T>
+  [[nodiscard]] DeviceBuffer<T> alloc(std::size_t count) {
+    constexpr std::uint64_t kAlign = 256;  // cudaMalloc alignment
+    const std::uint64_t base = next_addr_;
+    next_addr_ += (count * sizeof(T) + kAlign - 1) / kAlign * kAlign;
+    return DeviceBuffer<T>(this, base, count);
+  }
+
+  /// Launches `body` once per virtual thread over a grid of
+  /// `num_blocks` x `block_size`. Returns the launch's statistics and also
+  /// appends them to history().
+  template <typename Body>
+  KernelStats launch(std::string name, std::uint32_t num_blocks, std::uint32_t block_size,
+                     Body&& body) {
+    assert(block_size > 0 && block_size <= spec_.max_block_size);
+    assert(num_blocks > 0);
+    const MemoryCounters before = memory_->counters();
+    const std::vector<std::uint64_t> cycles_before = sm_cycles_;
+
+    const std::uint32_t warp = spec_.warp_size;
+    for (std::uint32_t b = 0; b < num_blocks; ++b) {
+      const std::uint32_t sm = b % spec_.num_sms;
+      for (std::uint32_t w = 0; w * warp < block_size; ++w) {
+        // Execute the warp's lanes, tracking each lane's issued-operation
+        // count so divergence can be charged per warp.
+        std::uint64_t warp_op_sum = 0;
+        std::uint64_t warp_op_max = 0;
+        std::uint32_t lanes = 0;
+        for (std::uint32_t l = 0; l < warp && w * warp + l < block_size; ++l) {
+          const std::uint32_t t = w * warp + l;
+          ThreadCtx ctx(*this, sm, b, t, block_size, num_blocks);
+          ctx.add_cycles(spec_.thread_overhead_cycles);
+          body(ctx);
+          warp_op_sum += ctx.ops();
+          warp_op_max = std::max(warp_op_max, ctx.ops());
+          ++lanes;
+        }
+        if (spec_.model_divergence && lanes > 0) {
+          // SIMT lockstep: a warp issues for as many slots as its busiest
+          // lane; the other lanes' idle issue slots are charged at the
+          // nominal per-operation cost. (Charging by *work count*, not by
+          // per-lane latency, keeps coalesced misses — where one lane pays
+          // the line fill and its warp-mates hit — from being multiplied.)
+          sm_cycles_[sm] += (warp_op_max * lanes - warp_op_sum) * spec_.l1_hit_cycles;
+        }
+      }
+    }
+
+    KernelStats stats;
+    stats.name = std::move(name);
+    stats.num_blocks = num_blocks;
+    stats.block_size = block_size;
+    for (std::uint32_t s = 0; s < spec_.num_sms; ++s) {
+      stats.max_sm_cycles = std::max(stats.max_sm_cycles, sm_cycles_[s] - cycles_before[s]);
+    }
+    stats.time_ms = static_cast<double>(stats.max_sm_cycles) /
+                        (spec_.clock_ghz * 1e9 * spec_.overlap_factor) * 1e3 +
+                    spec_.launch_overhead_us * 1e-3;
+    stats.memory = memory_->counters().delta_since(before);
+    history_.push_back(stats);
+    total_time_ms_ += stats.time_ms;
+    return stats;
+  }
+
+  /// Grid size that covers `work_items` with `block_size`-wide blocks,
+  /// capped at 32 blocks per SM (grid-stride loops handle the remainder).
+  [[nodiscard]] std::uint32_t blocks_for(std::uint64_t work_items,
+                                         std::uint32_t block_size) const {
+    const std::uint64_t needed = (work_items + block_size - 1) / block_size;
+    const std::uint64_t cap = static_cast<std::uint64_t>(spec_.num_sms) * 32;
+    return static_cast<std::uint32_t>(std::max<std::uint64_t>(1, std::min(needed, cap)));
+  }
+
+  /// All launches so far, in order.
+  [[nodiscard]] const std::vector<KernelStats>& history() const { return history_; }
+
+  /// Sum of modeled kernel times.
+  [[nodiscard]] double total_time_ms() const { return total_time_ms_; }
+
+  /// Total kernel time grouped by kernel name (paper Fig. 10).
+  [[nodiscard]] std::map<std::string, double> time_by_kernel() const {
+    std::map<std::string, double> by_name;
+    for (const auto& k : history_) by_name[k.name] += k.time_ms;
+    return by_name;
+  }
+
+  /// Memory counters accumulated across all launches.
+  [[nodiscard]] const MemoryCounters& counters() const { return memory_->counters(); }
+
+  void add_sm_cycles(std::uint32_t sm, std::uint64_t cycles) { sm_cycles_[sm] += cycles; }
+
+ private:
+  DeviceSpec spec_;
+  std::unique_ptr<MemorySystem> memory_;
+  std::vector<std::uint64_t> sm_cycles_;
+  std::vector<KernelStats> history_;
+  std::uint64_t next_addr_ = 1 << 20;  // leave a null guard region
+  double total_time_ms_ = 0.0;
+};
+
+inline std::uint32_t ThreadCtx::lane() const { return thread_ % device_.spec().warp_size; }
+
+inline std::uint32_t ThreadCtx::warp_in_block() const {
+  return thread_ / device_.spec().warp_size;
+}
+
+inline void ThreadCtx::add_cycles(std::uint64_t cycles) const {
+  device_.add_sm_cycles(sm_, cycles);
+}
+
+template <typename T>
+T DeviceBuffer<T>::load(const ThreadCtx& ctx, std::size_t i) const {
+  assert(i < data_.size());
+  ctx.count_op();
+  ctx.add_cycles(device_->memory().read(ctx.sm(), addr_of(i)));
+  return data_[i];
+}
+
+template <typename T>
+void DeviceBuffer<T>::store(const ThreadCtx& ctx, std::size_t i, T value) {
+  assert(i < data_.size());
+  ctx.count_op();
+  ctx.add_cycles(device_->memory().write(ctx.sm(), addr_of(i)));
+  data_[i] = value;
+}
+
+template <typename T>
+T DeviceBuffer<T>::atomic_cas(const ThreadCtx& ctx, std::size_t i, T expected, T desired) {
+  assert(i < data_.size());
+  ctx.count_op();
+  ctx.add_cycles(device_->memory().atomic(addr_of(i)));
+  const T old = data_[i];
+  if (old == expected) data_[i] = desired;
+  return old;
+}
+
+template <typename T>
+T DeviceBuffer<T>::atomic_add(const ThreadCtx& ctx, std::size_t i, T delta) {
+  assert(i < data_.size());
+  ctx.count_op();
+  ctx.add_cycles(device_->memory().atomic(addr_of(i)));
+  const T old = data_[i];
+  data_[i] = static_cast<T>(old + delta);
+  return old;
+}
+
+}  // namespace ecl::gpusim

@@ -1,0 +1,185 @@
+// The ECL-CC GPU pipeline (paper §3) on the virtual device.
+//
+// Five kernels:
+//   initialization — seed parent[] per the init policy;
+//   compute 1      — thread granularity, vertices of degree <= 16; larger
+//                    vertices are pushed onto the double-sided worklist
+//                    (mid-degree on one side, high-degree on the other);
+//   compute 2      — warp granularity, one worklist vertex per warp, lanes
+//                    stride the adjacency list;
+//   compute 3      — thread-block granularity for the high-degree side;
+//   finalization   — point every parent at the representative.
+#include <algorithm>
+
+#include "dsu/hook.h"
+#include "graph/graph.h"
+#include "gpusim/gpu_cc.h"
+#include "gpusim/sim_parent_ops.h"
+#include "gpusim/worklist.h"
+
+namespace ecl::gpusim {
+
+namespace {
+
+/// Uploaded CSR image of the graph in device memory.
+struct DeviceGraph {
+  DeviceBuffer<edge_t> offsets;
+  DeviceBuffer<vertex_t> adjacency;
+
+  DeviceGraph(Device& dev, const Graph& g)
+      : offsets(dev.alloc<edge_t>(g.num_vertices() + 1)),
+        adjacency(dev.alloc<vertex_t>(std::max<std::size_t>(1, g.num_edges()))) {
+    std::copy(g.offsets().begin(), g.offsets().end(), offsets.host().begin());
+    std::copy(g.adjacency().begin(), g.adjacency().end(), adjacency.host().begin());
+  }
+};
+
+/// Device-side Init policy evaluation for vertex v (paper Fig. 7).
+vertex_t initial_parent_gpu(const ThreadCtx& ctx, const DeviceGraph& dg, InitPolicy policy,
+                            vertex_t v) {
+  const edge_t beg = dg.offsets.load(ctx, v);
+  const edge_t end = dg.offsets.load(ctx, v + 1);
+  switch (policy) {
+    case InitPolicy::kSelf:
+      return v;
+    case InitPolicy::kMinNeighbor: {
+      vertex_t best = v;
+      for (edge_t e = beg; e < end; ++e) {
+        best = std::min(best, dg.adjacency.load(ctx, e));
+      }
+      return best;
+    }
+    case InitPolicy::kFirstSmallerNeighbor:
+      break;
+  }
+  for (edge_t e = beg; e < end; ++e) {
+    const vertex_t u = dg.adjacency.load(ctx, e);
+    if (u < v) return u;
+  }
+  return v;
+}
+
+/// Processes the adjacency range [beg+lane, end) of vertex v with stride
+/// `step` — the shared body of all three compute kernels.
+void compute_edges(const ThreadCtx& ctx, const DeviceGraph& dg,
+                   DeviceBuffer<vertex_t>& parent, JumpPolicy jump, vertex_t v, edge_t beg,
+                   edge_t end, edge_t first, edge_t step) {
+  SimParentOps ops(parent, ctx);
+  vertex_t v_rep = find_repres(jump, v, ops);
+  for (edge_t e = beg + first; e < end; e += step) {
+    const vertex_t u = dg.adjacency.load(ctx, e);
+    if (v > u) {
+      v_rep = process_edge(jump, v_rep, u, ops);
+    }
+  }
+}
+
+}  // namespace
+
+GpuRunResult ecl_cc_gpu(const Graph& g, const DeviceSpec& spec, const GpuEclOptions& opts) {
+  Device dev(spec);
+  const vertex_t n = g.num_vertices();
+  GpuRunResult result;
+  if (n == 0) {
+    return result;
+  }
+
+  DeviceGraph dg(dev, g);
+  auto parent = dev.alloc<vertex_t>(n);
+  // Double-sided worklist (size n): compute-2 vertices fill from the top,
+  // compute-3 vertices from the bottom.
+  DoubleSidedWorklist worklist(dev, n);
+
+  const std::uint32_t bs = opts.block_size;
+
+  dev.launch("initialization", dev.blocks_for(n, bs), bs, [&](const ThreadCtx& ctx) {
+    for (std::uint64_t v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+      parent.store(ctx, v, initial_parent_gpu(ctx, dg, opts.init, static_cast<vertex_t>(v)));
+    }
+  });
+
+  dev.launch("compute 1", dev.blocks_for(n, bs), bs, [&](const ThreadCtx& ctx) {
+    for (std::uint64_t vv = ctx.global_id(); vv < n; vv += ctx.grid_size()) {
+      const auto v = static_cast<vertex_t>(vv);
+      const edge_t beg = dg.offsets.load(ctx, v);
+      const edge_t end = dg.offsets.load(ctx, v + 1);
+      const auto degree = static_cast<vertex_t>(end - beg);
+      if (degree > opts.thread_degree_limit) {
+        // Defer to the warp- or block-granularity kernel via the worklist.
+        if (degree <= opts.warp_degree_limit) {
+          worklist.push_top(ctx, v);
+        } else {
+          worklist.push_bottom(ctx, v);
+        }
+        continue;
+      }
+      compute_edges(ctx, dg, parent, opts.jump, v, beg, end, 0, 1);
+    }
+  });
+
+  const vertex_t num_mid = worklist.top_count();
+  const vertex_t bottom = worklist.bottom_begin();
+  const vertex_t num_high = worklist.bottom_count();
+
+  if (num_mid > 0) {
+    const std::uint32_t warp = spec.warp_size;
+    const std::uint64_t threads = static_cast<std::uint64_t>(num_mid) * warp;
+    dev.launch("compute 2", dev.blocks_for(threads, bs), bs, [&](const ThreadCtx& ctx) {
+      const std::uint64_t warp_id = ctx.global_id() / warp;
+      const std::uint64_t num_warps = ctx.grid_size() / warp;
+      const std::uint32_t lane = ctx.lane();
+      for (std::uint64_t w = warp_id; w < num_mid; w += num_warps) {
+        const vertex_t v = worklist.read(ctx, static_cast<vertex_t>(w));
+        const edge_t beg = dg.offsets.load(ctx, v);
+        const edge_t end = dg.offsets.load(ctx, v + 1);
+        compute_edges(ctx, dg, parent, opts.jump, v, beg, end, lane, warp);
+      }
+    });
+  }
+
+  if (num_high > 0) {
+    dev.launch("compute 3", std::max(1u, std::min<std::uint32_t>(num_high, spec.num_sms * 8)),
+               bs, [&](const ThreadCtx& ctx) {
+                 const std::uint32_t num_blocks =
+                     static_cast<std::uint32_t>(ctx.grid_size() / bs);
+                 for (std::uint64_t i = ctx.block(); i < num_high; i += num_blocks) {
+                   const vertex_t v = worklist.read(ctx, static_cast<vertex_t>(bottom + i));
+                   const edge_t beg = dg.offsets.load(ctx, v);
+                   const edge_t end = dg.offsets.load(ctx, v + 1);
+                   compute_edges(ctx, dg, parent, opts.jump, v, beg, end,
+                                 ctx.thread_in_block(), bs);
+                 }
+               });
+  }
+
+  dev.launch("finalization", dev.blocks_for(n, bs), bs, [&](const ThreadCtx& ctx) {
+    SimParentOps ops(parent, ctx);
+    for (std::uint64_t vv = ctx.global_id(); vv < n; vv += ctx.grid_size()) {
+      const auto v = static_cast<vertex_t>(vv);
+      switch (opts.finalize) {
+        case FinalizePolicy::kIntermediate:
+          ops.store(v, find_intermediate(v, ops));
+          break;
+        case FinalizePolicy::kMultiple:
+          ops.store(v, find_multiple(v, ops));
+          break;
+        case FinalizePolicy::kSingle: {
+          vertex_t root = ops.load(v);
+          vertex_t next;
+          while (root > (next = ops.load(root))) root = next;
+          ops.store(v, root);
+          break;
+        }
+      }
+    }
+  });
+
+  result.labels = parent.host();
+  result.time_ms = dev.total_time_ms();
+  result.kernels = dev.history();
+  result.time_by_kernel = dev.time_by_kernel();
+  result.memory = dev.counters();
+  return result;
+}
+
+}  // namespace ecl::gpusim

@@ -1,0 +1,344 @@
+// The four prior GPU connected-components codes the paper compares against
+// (§2, §5.2), reimplemented from their algorithm descriptions and run on the
+// virtual device:
+//
+//   Soman   — iterated {hooking on representatives + pointer jumping}, with
+//             edge marking to skip converged edges in later iterations.
+//   IrGL    — compiler-generated Soman: same structure but no edge marking
+//             (every edge is reprocessed each iteration) and unfused
+//             per-step kernels.
+//   Gunrock — Soman with filter operators: after hooking, converged edges
+//             are compacted out of the frontier; after jumping, vertices
+//             that are representatives are filtered from the vertex
+//             frontier. The filters cost extra passes and atomic writes.
+//   Groute  — the edge list is cut into ~2m/n segments; each segment is
+//             hooked atomically (CAS on the representative) and followed by
+//             a multiple-pointer-jumping (flattening) pass, interleaving
+//             union and compression without global iteration.
+//
+// Simulation fidelity note: the virtual device executes threads
+// sequentially, which would let these *iterative* algorithms see values
+// written earlier in the same pass (Gauss-Seidel convergence) — something a
+// real GPU, where all threads of a pass effectively read iteration-start
+// values, does not provide. The hooking and jumping kernels therefore make
+// their *decisions* from a snapshot of the parent array taken at the start
+// of each pass (Jacobi semantics) while still issuing every load/store to
+// the memory model, reproducing the O(log n) iteration counts these codes
+// exhibit on hardware. ECL-CC and Groute are asynchronous by design — any
+// interleaving is a legal schedule for them — so they run without
+// snapshots.
+#include <algorithm>
+#include <vector>
+
+#include "dsu/hook.h"
+#include "gpusim/gpu_cc.h"
+#include "gpusim/sim_parent_ops.h"
+
+namespace ecl::gpusim {
+
+namespace {
+
+constexpr std::uint32_t kBlock = 256;
+
+/// Host-side extraction of the undirected edge list (each edge once, u < v),
+/// uploaded to device buffers — the representation Soman-family codes use.
+struct DeviceEdgeList {
+  DeviceBuffer<vertex_t> src;
+  DeviceBuffer<vertex_t> dst;
+  std::uint64_t count;
+
+  DeviceEdgeList(Device& dev, const Graph& g)
+      : src(dev.alloc<vertex_t>(std::max<std::uint64_t>(1, g.num_edges() / 2))),
+        dst(dev.alloc<vertex_t>(std::max<std::uint64_t>(1, g.num_edges() / 2))),
+        count(0) {
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      for (const vertex_t u : g.neighbors(v)) {
+        if (u < v) {
+          src.host_write(count, u);
+          dst.host_write(count, v);
+          ++count;
+        }
+      }
+    }
+  }
+};
+
+void init_parents(Device& dev, DeviceBuffer<vertex_t>& parent, vertex_t n) {
+  dev.launch("init", dev.blocks_for(n, kBlock), kBlock, [&](const ThreadCtx& ctx) {
+    for (std::uint64_t v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+      parent.store(ctx, v, static_cast<vertex_t>(v));
+    }
+  });
+}
+
+/// One Jacobi hooking pass over [begin, end) of the edge list: decisions
+/// come from `snap` (iteration-start values), loads/stores hit the memory
+/// model. `mark`, if non-null, implements Soman's converged-edge skipping.
+/// Returns via `flag` whether any hook happened.
+void hook_pass(Device& dev, const DeviceEdgeList& edges, DeviceBuffer<vertex_t>& parent,
+               const std::vector<vertex_t>& snap, DeviceBuffer<std::uint8_t>* mark,
+               DeviceBuffer<vertex_t>& flag, const char* name) {
+  dev.launch(name, dev.blocks_for(edges.count, kBlock), kBlock, [&](const ThreadCtx& ctx) {
+    for (std::uint64_t e = ctx.global_id(); e < edges.count; e += ctx.grid_size()) {
+      if (mark != nullptr && mark->load(ctx, e) != 0) continue;
+      const vertex_t u = edges.src.load(ctx, e);
+      const vertex_t v = edges.dst.load(ctx, e);
+      (void)parent.load(ctx, u);  // traffic of reading the parents
+      (void)parent.load(ctx, v);
+      const vertex_t pu = snap[u];
+      const vertex_t pv = snap[v];
+      if (pu == pv) {
+        if (mark != nullptr) mark->store(ctx, e, 1);
+        continue;
+      }
+      const vertex_t lo = std::min(pu, pv);
+      const vertex_t hi = std::max(pu, pv);
+      (void)parent.load(ctx, hi);  // root check read
+      if (snap[hi] == hi) {        // hook only roots (iteration-start view)
+        parent.store(ctx, hi, lo);
+        flag.store(ctx, 0, 1);
+      }
+    }
+  });
+}
+
+/// Jacobi pointer jumping to a fixed point: parent[v] <- snap[snap[v]],
+/// repeated until no pointer moves (halving tree depth per pass, as on
+/// hardware).
+void jump_to_fixpoint(Device& dev, DeviceBuffer<vertex_t>& parent, vertex_t n,
+                      DeviceBuffer<vertex_t>& flag, const char* kernel_name) {
+  bool changed = true;
+  while (changed) {
+    const std::vector<vertex_t> snap = parent.host();
+    flag.host_write(0, 0);
+    dev.launch(kernel_name, dev.blocks_for(n, kBlock), kBlock, [&](const ThreadCtx& ctx) {
+      for (std::uint64_t v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+        (void)parent.load(ctx, v);
+        const vertex_t p = snap[v];
+        (void)parent.load(ctx, p);
+        const vertex_t pp = snap[p];
+        if (p != pp) {
+          parent.store(ctx, v, pp);
+          flag.store(ctx, 0, 1);
+        }
+      }
+    });
+    changed = flag.host_read(0) != 0;
+  }
+}
+
+GpuRunResult finish(Device& dev, DeviceBuffer<vertex_t>& parent) {
+  GpuRunResult result;
+  result.labels = parent.host();
+  result.time_ms = dev.total_time_ms();
+  result.kernels = dev.history();
+  result.time_by_kernel = dev.time_by_kernel();
+  result.memory = dev.counters();
+  return result;
+}
+
+}  // namespace
+
+GpuRunResult soman_gpu(const Graph& g, const DeviceSpec& spec) {
+  Device dev(spec);
+  const vertex_t n = g.num_vertices();
+  if (n == 0) return {};
+  DeviceEdgeList edges(dev, g);
+  auto parent = dev.alloc<vertex_t>(n);
+  auto mark = dev.alloc<std::uint8_t>(std::max<std::uint64_t>(1, edges.count));
+  auto flag = dev.alloc<vertex_t>(1);
+
+  init_parents(dev, parent, n);
+
+  bool hooked = true;
+  while (hooked) {
+    const std::vector<vertex_t> snap = parent.host();
+    flag.host_write(0, 0);
+    hook_pass(dev, edges, parent, snap, &mark, flag, "hooking");
+    hooked = flag.host_read(0) != 0;
+    jump_to_fixpoint(dev, parent, n, flag, "pointer jumping");
+  }
+  return finish(dev, parent);
+}
+
+GpuRunResult irgl_gpu(const Graph& g, const DeviceSpec& spec) {
+  Device dev(spec);
+  const vertex_t n = g.num_vertices();
+  if (n == 0) return {};
+  DeviceEdgeList edges(dev, g);
+  auto parent = dev.alloc<vertex_t>(n);
+  auto flag = dev.alloc<vertex_t>(1);
+
+  init_parents(dev, parent, n);
+
+  bool hooked = true;
+  while (hooked) {
+    const std::vector<vertex_t> snap = parent.host();
+    flag.host_write(0, 0);
+    // No edge marking: the generated code re-reads the full edge list every
+    // round.
+    hook_pass(dev, edges, parent, snap, nullptr, flag, "hook");
+    hooked = flag.host_read(0) != 0;
+    jump_to_fixpoint(dev, parent, n, flag, "jump");
+    // Unfused convergence-check pass (hand-written codes fold this into the
+    // hooking kernel; IrGL's pipeline emits it separately).
+    dev.launch("check", dev.blocks_for(n, kBlock), kBlock, [&](const ThreadCtx& ctx) {
+      for (std::uint64_t v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+        (void)parent.load(ctx, v);
+      }
+    });
+  }
+  return finish(dev, parent);
+}
+
+GpuRunResult gunrock_gpu(const Graph& g, const DeviceSpec& spec) {
+  Device dev(spec);
+  const vertex_t n = g.num_vertices();
+  if (n == 0) return {};
+  DeviceEdgeList edges(dev, g);
+  const std::uint64_t cap = std::max<std::uint64_t>(1, edges.count);
+  auto parent = dev.alloc<vertex_t>(n);
+  auto flag = dev.alloc<vertex_t>(1);
+  // Double-buffered edge frontier for the filter operator.
+  DeviceBuffer<vertex_t> fsrc[2] = {dev.alloc<vertex_t>(cap), dev.alloc<vertex_t>(cap)};
+  DeviceBuffer<vertex_t> fdst[2] = {dev.alloc<vertex_t>(cap), dev.alloc<vertex_t>(cap)};
+  auto cursor = dev.alloc<vertex_t>(1);
+  auto vertex_frontier = dev.alloc<vertex_t>(std::max<vertex_t>(1, n));
+
+  init_parents(dev, parent, n);
+
+  // Initial frontier = all edges.
+  fsrc[0].host() = edges.src.host();
+  fdst[0].host() = edges.dst.host();
+  std::uint64_t frontier_size = edges.count;
+  int cur = 0;
+
+  while (frontier_size > 0) {
+    const std::vector<vertex_t> snap = parent.host();
+    flag.host_write(0, 0);
+    dev.launch("hook (advance)", dev.blocks_for(frontier_size, kBlock), kBlock,
+               [&](const ThreadCtx& ctx) {
+                 for (std::uint64_t e = ctx.global_id(); e < frontier_size;
+                      e += ctx.grid_size()) {
+                   const vertex_t u = fsrc[cur].load(ctx, e);
+                   const vertex_t v = fdst[cur].load(ctx, e);
+                   (void)parent.load(ctx, u);
+                   (void)parent.load(ctx, v);
+                   const vertex_t pu = snap[u];
+                   const vertex_t pv = snap[v];
+                   if (pu == pv) continue;
+                   const vertex_t lo = std::min(pu, pv);
+                   const vertex_t hi = std::max(pu, pv);
+                   (void)parent.load(ctx, hi);
+                   if (snap[hi] == hi) {
+                     parent.store(ctx, hi, lo);
+                   }
+                 }
+               });
+
+    jump_to_fixpoint(dev, parent, n, flag, "pointer jumping");
+
+    // Gunrock's filter operators are built on a scan: one pass computes each
+    // element's validity flag and prefix sum before the scatter pass. Charge
+    // that pass explicitly.
+    dev.launch("filter scan", dev.blocks_for(std::max<std::uint64_t>(frontier_size, n), kBlock),
+               kBlock, [&](const ThreadCtx& ctx) {
+                 for (std::uint64_t e = ctx.global_id(); e < frontier_size;
+                      e += ctx.grid_size()) {
+                   (void)fsrc[cur].load(ctx, e);
+                   (void)fdst[cur].load(ctx, e);
+                 }
+                 for (std::uint64_t v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+                   (void)parent.load(ctx, v);
+                 }
+               });
+
+    // Vertex filter: drop vertices that are their own representative.
+    cursor.host_write(0, 0);
+    dev.launch("vertex filter", dev.blocks_for(n, kBlock), kBlock, [&](const ThreadCtx& ctx) {
+      for (std::uint64_t v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+        if (parent.load(ctx, v) != v) {
+          const vertex_t slot = cursor.atomic_add(ctx, 0, 1);
+          vertex_frontier.store(ctx, slot, static_cast<vertex_t>(v));
+        }
+      }
+    });
+
+    // Edge filter: keep only edges whose endpoints still differ.
+    cursor.host_write(0, 0);
+    const std::uint64_t in_size = frontier_size;
+    dev.launch("edge filter", dev.blocks_for(in_size, kBlock), kBlock,
+               [&](const ThreadCtx& ctx) {
+                 for (std::uint64_t e = ctx.global_id(); e < in_size; e += ctx.grid_size()) {
+                   const vertex_t u = fsrc[cur].load(ctx, e);
+                   const vertex_t v = fdst[cur].load(ctx, e);
+                   if (parent.load(ctx, u) != parent.load(ctx, v)) {
+                     const vertex_t slot = cursor.atomic_add(ctx, 0, 1);
+                     fsrc[1 - cur].store(ctx, slot, u);
+                     fdst[1 - cur].store(ctx, slot, v);
+                   }
+                 }
+               });
+    frontier_size = cursor.host_read(0);
+    cur = 1 - cur;
+  }
+  return finish(dev, parent);
+}
+
+GpuRunResult groute_gpu(const Graph& g, const DeviceSpec& spec) {
+  Device dev(spec);
+  const vertex_t n = g.num_vertices();
+  if (n == 0) return {};
+  DeviceEdgeList edges(dev, g);
+  auto parent = dev.alloc<vertex_t>(n);
+  init_parents(dev, parent, n);
+
+  // Edge-list segments of ~n/2 edges => ~2m/n segments (paper §2).
+  const std::uint64_t seg_size = std::max<std::uint64_t>(1, n / 2);
+  for (std::uint64_t seg_begin = 0; seg_begin < edges.count; seg_begin += seg_size) {
+    const std::uint64_t seg_end = std::min(edges.count, seg_begin + seg_size);
+    const std::uint64_t seg_count = seg_end - seg_begin;
+
+    dev.launch("atomic hooking", dev.blocks_for(seg_count, kBlock), kBlock,
+               [&](const ThreadCtx& ctx) {
+                 SimParentOps ops(parent, ctx);
+                 for (std::uint64_t e = seg_begin + ctx.global_id(); e < seg_end;
+                      e += ctx.grid_size()) {
+                   const vertex_t u = edges.src.load(ctx, e);
+                   const vertex_t v = edges.dst.load(ctx, e);
+                   // Hook the representatives under a CAS (Groute's atomic
+                   // hooking needs no global iteration). No path compression
+                   // inside the find: the per-segment flattening pass below
+                   // keeps paths short.
+                   const vertex_t u_rep = find_none(u, ops);
+                   const vertex_t v_rep = find_none(v, ops);
+                   hook_representatives(v_rep, u_rep, ops);
+                 }
+               });
+
+    // Multiple pointer jumping after each segment ("hooking followed by
+    // multiple pointer jumping on each segment", §2): every parent is made
+    // to point directly at its representative, so the next segment's finds
+    // are short. After the last segment this doubles as the finalization.
+    dev.launch("multi jump", dev.blocks_for(n, kBlock), kBlock, [&](const ThreadCtx& ctx) {
+      SimParentOps ops(parent, ctx);
+      for (std::uint64_t v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+        ops.store(static_cast<vertex_t>(v), find_multiple(static_cast<vertex_t>(v), ops));
+      }
+    });
+  }
+  return finish(dev, parent);
+}
+
+const std::vector<GpuCode>& gpu_codes() {
+  static const std::vector<GpuCode> codes = {
+      {"ECL-CC", [](const Graph& g, const DeviceSpec& s) { return ecl_cc_gpu(g, s); }},
+      {"Groute", groute_gpu},
+      {"Gunrock", gunrock_gpu},
+      {"IrGL", irgl_gpu},
+      {"Soman", soman_gpu},
+  };
+  return codes;
+}
+
+}  // namespace ecl::gpusim

@@ -1,0 +1,75 @@
+// GPU connected-components implementations on the virtual device: the
+// ECL-CC five-kernel pipeline (paper §3) and the four prior GPU codes it is
+// compared against in §5.2 (Soman, Groute, Gunrock, IrGL), reimplemented
+// from the paper's algorithm descriptions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ecl_cc.h"
+#include "graph/graph.h"
+#include "gpusim/cache.h"
+#include "gpusim/device.h"
+#include "gpusim/spec.h"
+
+namespace ecl::gpusim {
+
+/// Result of one simulated GPU CC run.
+struct GpuRunResult {
+  std::vector<vertex_t> labels;
+  /// Modeled total runtime (sum of kernel times; transfers excluded, as in
+  /// the paper's methodology §4).
+  double time_ms = 0.0;
+  /// Every kernel launch in order.
+  std::vector<KernelStats> kernels;
+  /// Total time grouped by kernel name (paper Fig. 10).
+  std::map<std::string, double> time_by_kernel;
+  /// Whole-run memory counters (paper Table 3 uses l2_reads / l2_writes).
+  MemoryCounters memory;
+};
+
+/// Tunables of the GPU pipeline. Defaults are the published configuration:
+/// degree <= 16 handled at thread granularity, 17..352 at warp granularity,
+/// > 352 at thread-block granularity, blocks of 256 threads.
+struct GpuEclOptions {
+  InitPolicy init = InitPolicy::kFirstSmallerNeighbor;
+  JumpPolicy jump = JumpPolicy::kIntermediate;
+  FinalizePolicy finalize = FinalizePolicy::kSingle;
+  vertex_t thread_degree_limit = 16;
+  vertex_t warp_degree_limit = 352;
+  std::uint32_t block_size = 256;
+};
+
+/// ECL-CC on the virtual GPU: initialization kernel, three computation
+/// kernels fed by a double-sided worklist, finalization kernel.
+[[nodiscard]] GpuRunResult ecl_cc_gpu(const Graph& g, const DeviceSpec& spec,
+                                      const GpuEclOptions& opts = {});
+
+/// Soman et al. [36]: iterated hooking on representatives with edge marking,
+/// a pointer-jumping pass per iteration, and a final full flattening.
+[[nodiscard]] GpuRunResult soman_gpu(const Graph& g, const DeviceSpec& spec);
+
+/// Groute [2]: the edge list is split into ~2m/n segments; each segment is
+/// atomically hooked and followed by a multiple-pointer-jumping pass, which
+/// interleaves hooking and jumping and avoids global iteration.
+[[nodiscard]] GpuRunResult groute_gpu(const Graph& g, const DeviceSpec& spec);
+
+/// Gunrock [38]: Soman's algorithm with filter operators that compact away
+/// converged edges and representative vertices after every iteration.
+[[nodiscard]] GpuRunResult gunrock_gpu(const Graph& g, const DeviceSpec& spec);
+
+/// IrGL [26]: compiler-generated Soman — no edge marking (all edges are
+/// reprocessed every iteration), separate unfused kernels per step.
+[[nodiscard]] GpuRunResult irgl_gpu(const Graph& g, const DeviceSpec& spec);
+
+/// Registry of the five GPU codes in the order of the paper's Fig. 11/12.
+struct GpuCode {
+  std::string name;
+  std::function<GpuRunResult(const Graph&, const DeviceSpec&)> run;
+};
+[[nodiscard]] const std::vector<GpuCode>& gpu_codes();
+
+}  // namespace ecl::gpusim

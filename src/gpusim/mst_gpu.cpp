@@ -1,0 +1,133 @@
+#include "gpusim/mst_gpu.h"
+
+#include <algorithm>
+
+#include "dsu/find.h"
+#include "dsu/hook.h"
+#include "gpusim/sim_parent_ops.h"
+
+namespace ecl::gpusim {
+
+namespace {
+
+constexpr std::uint32_t kBlock = 256;
+constexpr std::uint64_t kNoEdge = ~std::uint64_t{0};
+
+/// Lexicographic (weight, edge-id) comparison: the deterministic tie-break
+/// makes Boruvka cycle-free even with equal weights.
+bool lighter(double wa, std::uint64_t ea, double wb, std::uint64_t eb) {
+  return wa < wb || (wa == wb && ea < eb);
+}
+
+}  // namespace
+
+GpuMstResult boruvka_mst_gpu(const Graph& g, const DeviceSpec& spec,
+                             const GpuWeightFn& weight, JumpPolicy jump) {
+  GpuMstResult result;
+  const vertex_t n = g.num_vertices();
+  if (n == 0) return result;
+
+  Device dev(spec);
+  // Undirected edge list (u < v) with per-edge weights in device memory.
+  const std::uint64_t m_und = g.num_edges() / 2;
+  auto esrc = dev.alloc<vertex_t>(std::max<std::uint64_t>(1, m_und));
+  auto edst = dev.alloc<vertex_t>(std::max<std::uint64_t>(1, m_und));
+  auto ewgt = dev.alloc<double>(std::max<std::uint64_t>(1, m_und));
+  {
+    std::uint64_t e = 0;
+    for (vertex_t v = 0; v < n; ++v) {
+      for (const vertex_t u : g.neighbors(v)) {
+        if (u < v) {
+          esrc.host_write(e, u);
+          edst.host_write(e, v);
+          ewgt.host_write(e, weight(u, v));
+          ++e;
+        }
+      }
+    }
+  }
+
+  auto parent = dev.alloc<vertex_t>(n);
+  auto best = dev.alloc<std::uint64_t>(n);     // per-root lightest edge id
+  auto selected = dev.alloc<std::uint8_t>(std::max<std::uint64_t>(1, m_und));
+  auto flag = dev.alloc<vertex_t>(1);
+
+  dev.launch("mst init", dev.blocks_for(n, kBlock), kBlock, [&](const ThreadCtx& ctx) {
+    for (std::uint64_t v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+      parent.store(ctx, v, static_cast<vertex_t>(v));
+      best.store(ctx, v, kNoEdge);
+    }
+  });
+
+  bool progress = true;
+  while (progress) {
+    // Phase 1: every still-crossing edge bids for both endpoint roots'
+    // lightest-edge slot (CAS-min; finds use the configured jump flavour).
+    flag.host_write(0, 0);
+    dev.launch("find lightest", dev.blocks_for(m_und, kBlock), kBlock,
+               [&](const ThreadCtx& ctx) {
+                 SimParentOps ops(parent, ctx);
+                 for (std::uint64_t e = ctx.global_id(); e < m_und; e += ctx.grid_size()) {
+                   const vertex_t u = esrc.load(ctx, e);
+                   const vertex_t v = edst.load(ctx, e);
+                   const vertex_t u_rep = find_repres(jump, u, ops);
+                   const vertex_t v_rep = find_repres(jump, v, ops);
+                   if (u_rep == v_rep) continue;
+                   const double w = ewgt.load(ctx, e);
+                   for (const vertex_t root : {u_rep, v_rep}) {
+                     std::uint64_t cur = best.load(ctx, root);
+                     while (cur == kNoEdge ||
+                            lighter(w, e, ewgt.load(ctx, cur), cur)) {
+                       const std::uint64_t seen = best.atomic_cas(ctx, root, cur, e);
+                       if (seen == cur) break;  // won the slot
+                       cur = seen;              // lost: re-compare
+                     }
+                   }
+                   flag.store(ctx, 0, 1);
+                 }
+               });
+    progress = flag.host_read(0) != 0;
+    if (!progress) break;
+
+    // Phase 2: each root hooks along its winning edge (ECL hooking: CAS on
+    // the larger representative); the winning edge joins the forest.
+    dev.launch("hook winners", dev.blocks_for(n, kBlock), kBlock,
+               [&](const ThreadCtx& ctx) {
+                 SimParentOps ops(parent, ctx);
+                 for (std::uint64_t v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+                   const std::uint64_t e = best.load(ctx, v);
+                   if (e == kNoEdge) continue;
+                   best.store(ctx, v, kNoEdge);  // reset for the next round
+                   const vertex_t u_rep = find_repres(jump, esrc.load(ctx, e), ops);
+                   const vertex_t v_rep = find_repres(jump, edst.load(ctx, e), ops);
+                   if (u_rep == v_rep) continue;  // the other endpoint got here first
+                   hook_representatives(v_rep, u_rep, ops);
+                   selected.store(ctx, e, 1);
+                 }
+               });
+
+  }
+
+  // Finalization: one flattening pass so the labels are canonical. During
+  // the rounds, path maintenance is left entirely to the configured find
+  // flavour — the ECL approach, and what bench/extension_mst measures.
+  dev.launch("mst finalize", dev.blocks_for(n, kBlock), kBlock, [&](const ThreadCtx& ctx) {
+    SimParentOps ops(parent, ctx);
+    for (std::uint64_t v = ctx.global_id(); v < n; v += ctx.grid_size()) {
+      ops.store(static_cast<vertex_t>(v), find_multiple(static_cast<vertex_t>(v), ops));
+    }
+  });
+
+  for (std::uint64_t e = 0; e < m_und; ++e) {
+    if (selected.host_read(e) != 0) {
+      result.edge_ids.push_back(e);
+      result.total_weight += ewgt.host_read(e);
+    }
+  }
+  result.labels = parent.host();
+  result.time_ms = dev.total_time_ms();
+  result.kernels = dev.history();
+  return result;
+}
+
+}  // namespace ecl::gpusim

@@ -1,0 +1,31 @@
+// ParentOps adapter that routes the shared find/hook algorithm templates
+// through simulated device memory, so the GPU kernels execute exactly the
+// same union-find code as the CPU ports while every access is charged to
+// the cache model.
+#pragma once
+
+#include "common/types.h"
+#include "dsu/parent_ops.h"
+#include "gpusim/device.h"
+
+namespace ecl::gpusim {
+
+class SimParentOps {
+ public:
+  SimParentOps(DeviceBuffer<vertex_t>& parent, const ThreadCtx& ctx)
+      : parent_(&parent), ctx_(&ctx) {}
+
+  [[nodiscard]] vertex_t load(vertex_t i) const { return parent_->load(*ctx_, i); }
+  void store(vertex_t i, vertex_t value) { parent_->store(*ctx_, i, value); }
+  vertex_t cas(vertex_t i, vertex_t expected, vertex_t desired) {
+    return parent_->atomic_cas(*ctx_, i, expected, desired);
+  }
+
+ private:
+  DeviceBuffer<vertex_t>* parent_;
+  const ThreadCtx* ctx_;
+};
+
+static_assert(ParentOps<SimParentOps>);
+
+}  // namespace ecl::gpusim

@@ -1,0 +1,28 @@
+#include "gpusim/spec.h"
+
+namespace ecl::gpusim {
+
+DeviceSpec titanx_like() {
+  DeviceSpec spec;
+  spec.name = "Titan X (simulated)";
+  spec.num_sms = 24;
+  spec.clock_ghz = 1.1;
+  spec.l1 = {48 * 1024, 64, 4};
+  spec.l2 = {2 * 1024 * 1024, 64, 16};
+  spec.overlap_factor = 8.0;
+  return spec;
+}
+
+DeviceSpec k40_like() {
+  DeviceSpec spec;
+  spec.name = "K40 (simulated)";
+  spec.num_sms = 15;
+  spec.clock_ghz = 0.745;
+  spec.l1 = {48 * 1024, 64, 4};
+  spec.l2 = {1536 * 1024, 64, 16};
+  spec.overlap_factor = 6.0;
+  spec.dram_cycles = 340;  // slower GDDR5 relative to core clock
+  return spec;
+}
+
+}  // namespace ecl::gpusim

@@ -1,0 +1,61 @@
+// Virtual-device descriptions for the GPU simulator.
+//
+// The two configurations mirror the paper's evaluation hardware (§4): a
+// GeForce GTX Titan X (Maxwell) and a Tesla K40c (Kepler). The simulator is
+// a behavioural model, not a microarchitectural one: it executes kernels
+// functionally and charges cycles per memory access by the cache level that
+// serves it, which is the first-order effect behind the paper's results
+// (§5.1 correlates runtime with L2 accesses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ecl::gpusim {
+
+struct CacheSpec {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t associativity = 4;
+};
+
+struct DeviceSpec {
+  std::string name;
+  std::uint32_t num_sms = 24;
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_block_size = 1024;
+  double clock_ghz = 1.1;
+  CacheSpec l1;  // per SM
+  CacheSpec l2;  // shared
+
+  // Cycle costs per access, by the level that serves it.
+  std::uint32_t l1_hit_cycles = 4;
+  std::uint32_t l2_hit_cycles = 60;
+  std::uint32_t dram_cycles = 300;
+  std::uint32_t atomic_cycles = 100;  // atomics resolve at the L2
+  std::uint32_t thread_overhead_cycles = 12;
+
+  /// Average latency-hiding factor: how many outstanding memory operations
+  /// the warp schedulers overlap. Divides accumulated cycles when converting
+  /// to wall-clock so absolute times land in a plausible range; it cancels
+  /// in all relative (normalized) results.
+  double overlap_factor = 8.0;
+
+  /// Fixed kernel launch overhead charged per launch.
+  double launch_overhead_us = 1.0;
+
+  /// Model SIMT lockstep: a warp occupies its issue slots for the duration
+  /// of its longest-running lane, so divergent lanes waste the others'
+  /// slots. This is the load-imbalance effect the paper's three-kernel
+  /// design (§3) exists to avoid; disable to see pure work counts.
+  bool model_divergence = true;
+};
+
+/// GeForce GTX Titan X flavour: 24 SMs, 48 kB L1/SM, 2 MB L2, 1.1 GHz.
+[[nodiscard]] DeviceSpec titanx_like();
+
+/// Tesla K40c flavour: 15 SMs, 48 kB L1/SM, 1.5 MB L2, 745 MHz, and a
+/// smaller overlap factor (older scheduler, slower GDDR5).
+[[nodiscard]] DeviceSpec k40_like();
+
+}  // namespace ecl::gpusim

@@ -1,0 +1,72 @@
+// The double-sided worklist of the paper's §3: a single size-n device array
+// filled by the thread-granularity kernel from both ends — mid-degree
+// vertices (for the warp kernel) from the top, high-degree vertices (for
+// the thread-block kernel) from the bottom. One allocation serves both
+// queues, "to save memory space"; the cursors are device atomics. Mirrors
+// Enterprise's load balancing [23] minus the small-work queue.
+#pragma once
+
+#include "common/types.h"
+#include "gpusim/device.h"
+
+namespace ecl::gpusim {
+
+class DoubleSidedWorklist {
+ public:
+  /// Allocates a worklist of `capacity` slots on `dev`.
+  DoubleSidedWorklist(Device& dev, vertex_t capacity)
+      : slots_(dev.alloc<vertex_t>(std::max<vertex_t>(1, capacity))),
+        cursors_(dev.alloc<vertex_t>(2)),
+        capacity_(capacity) {
+    cursors_.host_write(kTop, 0);
+    cursors_.host_write(kBottom, capacity);
+  }
+
+  /// Device-side push onto the top (front) side. Returns the slot index.
+  vertex_t push_top(const ThreadCtx& ctx, vertex_t value) {
+    const vertex_t slot = cursors_.atomic_add(ctx, kTop, 1);
+    slots_.store(ctx, slot, value);
+    return slot;
+  }
+
+  /// Device-side push onto the bottom (back) side. Returns the slot index.
+  vertex_t push_bottom(const ThreadCtx& ctx, vertex_t value) {
+    const vertex_t slot =
+        static_cast<vertex_t>(cursors_.atomic_add(ctx, kBottom, static_cast<vertex_t>(-1)) - 1);
+    slots_.store(ctx, slot, value);
+    return slot;
+  }
+
+  /// Device-side read of slot i (top entries live at [0, top_count()),
+  /// bottom entries at [bottom_begin(), capacity)).
+  [[nodiscard]] vertex_t read(const ThreadCtx& ctx, vertex_t i) const {
+    return slots_.load(ctx, i);
+  }
+
+  /// Host-side: number of entries pushed onto the top side.
+  [[nodiscard]] vertex_t top_count() const { return cursors_.host_read(kTop); }
+
+  /// Host-side: first slot of the bottom side.
+  [[nodiscard]] vertex_t bottom_begin() const { return cursors_.host_read(kBottom); }
+
+  /// Host-side: number of entries pushed onto the bottom side.
+  [[nodiscard]] vertex_t bottom_count() const {
+    return static_cast<vertex_t>(capacity_ - bottom_begin());
+  }
+
+  /// True when the two sides have collided (the caller overfilled; with one
+  /// entry per vertex and capacity n this cannot happen, as in the paper).
+  [[nodiscard]] bool overflowed() const { return top_count() > bottom_begin(); }
+
+  [[nodiscard]] vertex_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr std::size_t kTop = 0;
+  static constexpr std::size_t kBottom = 1;
+
+  DeviceBuffer<vertex_t> slots_;
+  mutable DeviceBuffer<vertex_t> cursors_;
+  vertex_t capacity_;
+};
+
+}  // namespace ecl::gpusim

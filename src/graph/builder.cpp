@@ -1,0 +1,73 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ecl {
+
+void GraphBuilder::add_edge(vertex_t u, vertex_t v) {
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw std::out_of_range("GraphBuilder::add_edge: endpoint out of range");
+  }
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::add_edges(const std::vector<Edge>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const auto& [u, v] : edges) add_edge(u, v);
+}
+
+Graph GraphBuilder::build(const BuildOptions& opts) {
+  std::vector<Edge> edges = std::move(edges_);
+  edges_.clear();
+
+  if (opts.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.first == e.second; });
+  }
+
+  if (opts.symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      edges.emplace_back(edges[i].second, edges[i].first);
+    }
+  }
+
+  // Counting-sort style CSR construction: sorting the full edge list once
+  // handles grouping by tail, intra-list ordering, and deduplication.
+  std::sort(edges.begin(), edges.end());
+  if (opts.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  std::vector<edge_t> offsets(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const auto& [u, v] : edges) ++offsets[u + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<vertex_t> adjacency;
+  adjacency.reserve(edges.size());
+  for (const auto& [u, v] : edges) adjacency.push_back(v);
+
+  if (!opts.sort_neighbors) {
+    // The sorted construction above always yields sorted lists; callers that
+    // want unsorted lists get a deterministic pseudo-shuffle per list so that
+    // order-sensitive policies (Init3) can be exercised on unsorted input.
+    for (vertex_t v = 0; v < num_vertices_; ++v) {
+      auto first = adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+      auto last = adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+      std::reverse(first, last);
+    }
+  }
+
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+Graph build_graph(vertex_t num_vertices, const std::vector<Edge>& edges,
+                  const BuildOptions& opts) {
+  GraphBuilder builder(num_vertices);
+  builder.add_edges(edges);
+  return builder.build(opts);
+}
+
+}  // namespace ecl

@@ -1,0 +1,86 @@
+// Randomized generators: uniform random, R-MAT/Kronecker, small world.
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace ecl {
+
+Graph gen_uniform_random(vertex_t n, edge_t num_undirected_edges, std::uint64_t seed) {
+  if (n == 0) return Graph();
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_undirected_edges);
+  for (edge_t e = 0; e < num_undirected_edges; ++e) {
+    const auto u = static_cast<vertex_t>(rng.bounded(n));
+    const auto v = static_cast<vertex_t>(rng.bounded(n));
+    edges.emplace_back(u, v);
+  }
+  return build_graph(n, edges);
+}
+
+Graph gen_rmat(int scale, edge_t edge_factor, const RmatParams& p, std::uint64_t seed) {
+  if (scale <= 0 || scale >= 31) throw std::invalid_argument("gen_rmat: bad scale");
+  const double total = p.a + p.b + p.c + p.d;
+  if (total <= 0.0) throw std::invalid_argument("gen_rmat: bad probabilities");
+
+  const vertex_t n = vertex_t{1} << scale;
+  const edge_t m = edge_factor * static_cast<edge_t>(n);
+  const double pa = p.a / total;
+  const double pb = p.b / total;
+  const double pc = p.c / total;
+
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (edge_t e = 0; e < m; ++e) {
+    vertex_t u = 0;
+    vertex_t v = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      // Recursively descend into one of the four adjacency-matrix quadrants
+      // with a little noise per level, as in the Graph500 reference code, so
+      // the degree distribution stays heavy-tailed instead of collapsing.
+      const double noise = 0.9 + 0.2 * rng.uniform();
+      const double r = rng.uniform();
+      if (r < pa * noise) {
+        // top-left: both bits 0
+      } else if (r < (pa + pb) * noise) {
+        v |= vertex_t{1} << bit;
+      } else if (r < (pa + pb + pc) * noise) {
+        u |= vertex_t{1} << bit;
+      } else {
+        u |= vertex_t{1} << bit;
+        v |= vertex_t{1} << bit;
+      }
+    }
+    edges.emplace_back(u, v);
+  }
+  return build_graph(n, edges);
+}
+
+Graph gen_kronecker(int scale, edge_t edge_factor, std::uint64_t seed) {
+  return gen_rmat(scale, edge_factor, RmatParams{0.57, 0.19, 0.19, 0.05}, seed);
+}
+
+Graph gen_small_world(vertex_t n, vertex_t k, double rewire_probability, std::uint64_t seed) {
+  if (n == 0) return Graph();
+  if (k >= n / 2 && n > 1) throw std::invalid_argument("gen_small_world: k too large");
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (vertex_t v = 0; v < n; ++v) {
+    for (vertex_t j = 1; j <= k; ++j) {
+      vertex_t w = static_cast<vertex_t>((v + j) % n);
+      if (rng.uniform() < rewire_probability) {
+        w = static_cast<vertex_t>(rng.bounded(n));
+      }
+      edges.emplace_back(v, w);
+    }
+  }
+  return build_graph(n, edges);
+}
+
+}  // namespace ecl

@@ -1,0 +1,95 @@
+// Structured (non-random) generators: grids, triangulations, paths, stars,
+// cliques. These have exactly known component structure and are the
+// backbone of the correctness tests.
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace ecl {
+
+Graph gen_grid2d(vertex_t rows, vertex_t cols) {
+  const auto n = static_cast<std::uint64_t>(rows) * cols;
+  if (n > static_cast<std::uint64_t>(kInvalidVertex)) {
+    throw std::invalid_argument("gen_grid2d: grid too large");
+  }
+  GraphBuilder b(static_cast<vertex_t>(n));
+  auto id = [cols](vertex_t r, vertex_t c) { return r * cols + c; };
+  for (vertex_t r = 0; r < rows; ++r) {
+    for (vertex_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph gen_delaunay_like(vertex_t rows, vertex_t cols) {
+  const auto n = static_cast<std::uint64_t>(rows) * cols;
+  if (n > static_cast<std::uint64_t>(kInvalidVertex)) {
+    throw std::invalid_argument("gen_delaunay_like: grid too large");
+  }
+  GraphBuilder b(static_cast<vertex_t>(n));
+  auto id = [cols](vertex_t r, vertex_t c) { return r * cols + c; };
+  for (vertex_t r = 0; r < rows; ++r) {
+    for (vertex_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+      // Alternating diagonals triangulate each grid cell, matching the
+      // average degree (~6) of a Delaunay triangulation while staying planar.
+      if (r + 1 < rows && c + 1 < cols) {
+        if ((r + c) % 2 == 0) {
+          b.add_edge(id(r, c), id(r + 1, c + 1));
+        } else {
+          b.add_edge(id(r, c + 1), id(r + 1, c));
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph gen_star(vertex_t n) {
+  if (n == 0) return Graph();
+  GraphBuilder b(n);
+  for (vertex_t v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph gen_path(vertex_t n) {
+  GraphBuilder b(n);
+  for (vertex_t v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph gen_complete(vertex_t n) {
+  GraphBuilder b(n);
+  for (vertex_t u = 0; u < n; ++u) {
+    for (vertex_t v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph gen_clique_forest(vertex_t count, vertex_t clique_size) {
+  const auto n = static_cast<std::uint64_t>(count) * clique_size;
+  if (n > static_cast<std::uint64_t>(kInvalidVertex)) {
+    throw std::invalid_argument("gen_clique_forest: too many vertices");
+  }
+  GraphBuilder b(static_cast<vertex_t>(n));
+  for (vertex_t k = 0; k < count; ++k) {
+    const vertex_t base = k * clique_size;
+    for (vertex_t u = 0; u < clique_size; ++u) {
+      for (vertex_t v = u + 1; v < clique_size; ++v) {
+        b.add_edge(base + u, base + v);
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph gen_isolated(vertex_t n) {
+  GraphBuilder b(n);
+  return b.build();
+}
+
+}  // namespace ecl

@@ -1,0 +1,91 @@
+// Deterministic synthetic graph generators.
+//
+// The paper evaluates on 18 graphs drawn from a few structural families
+// (road maps, grids, web crawls, social/citation networks, RMAT/Kronecker,
+// uniform random, triangulations, internet topologies). We cannot ship the
+// original datasets, so each family gets a generator that reproduces the
+// properties that drive CC performance: diameter, degree distribution, and
+// component structure. All generators are deterministic in (parameters,
+// seed) and emit conditioned (undirected, loop-free, deduplicated) graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ecl {
+
+/// rows x cols 4-neighbor mesh ("2d-2e20.sym"): degree <= 4, one component,
+/// huge diameter — stresses pointer jumping depth.
+[[nodiscard]] Graph gen_grid2d(vertex_t rows, vertex_t cols);
+
+/// Uniform random multigraph with ~`num_undirected_edges` edges
+/// ("r4-2e23.sym"): low diameter, near-constant degree.
+[[nodiscard]] Graph gen_uniform_random(vertex_t n, edge_t num_undirected_edges,
+                                       std::uint64_t seed);
+
+/// Recursive-matrix (R-MAT) generator (Chakrabarti et al.), the family of
+/// "rmat16.sym"/"rmat22.sym" and — with the Graph500 parameter set — of
+/// "kron_g500-logn21": skewed degrees, many tiny components, isolated
+/// vertices (dmin = 0 in the paper's Table 2).
+struct RmatParams {
+  double a = 0.45;
+  double b = 0.22;
+  double c = 0.22;
+  double d = 0.11;
+};
+[[nodiscard]] Graph gen_rmat(int scale, edge_t edge_factor, const RmatParams& params,
+                             std::uint64_t seed);
+
+/// Graph500 Kronecker parameters (a=0.57, b=0.19, c=0.19, d=0.05).
+[[nodiscard]] Graph gen_kronecker(int scale, edge_t edge_factor, std::uint64_t seed);
+
+/// Road-map-like graph ("europe_osm", "USA-road-d.*"): vertices embedded on
+/// a jittered grid, edges to a few nearest neighbors; degree ~2-4, very
+/// long paths, single giant component.
+[[nodiscard]] Graph gen_road_network(vertex_t n, std::uint64_t seed);
+
+/// Preferential-attachment (Barabasi-Albert) graph ("amazon0601",
+/// "as-skitter" style): heavy-tailed degrees, small diameter.
+[[nodiscard]] Graph gen_preferential_attachment(vertex_t n, vertex_t edges_per_vertex,
+                                                std::uint64_t seed);
+
+/// Citation-style graph ("citationCiteseer", "cit-Patents", "coPapersDBLP"):
+/// each new vertex links to a mix of recent and popular earlier vertices;
+/// moderately skewed degrees, possibly many components (cit-Patents has
+/// 3627).
+[[nodiscard]] Graph gen_citation(vertex_t n, vertex_t refs_per_vertex, double recency_bias,
+                                 std::uint64_t seed);
+
+/// Web-crawl-like graph ("in-2004", "uk-2002"): host-level clustering with
+/// very high-degree hub pages, plus a sprinkling of isolated vertices and
+/// small disconnected sites.
+[[nodiscard]] Graph gen_web_graph(vertex_t n, std::uint64_t seed);
+
+/// Planar-triangulation-like graph ("delaunay_n24"): grid triangulated with
+/// diagonals; degree ~6, planar-scale diameter, single component.
+[[nodiscard]] Graph gen_delaunay_like(vertex_t rows, vertex_t cols);
+
+/// Watts-Strogatz small world ("internet" topology flavour): ring lattice of
+/// degree 2k with probability-p rewiring.
+[[nodiscard]] Graph gen_small_world(vertex_t n, vertex_t k, double rewire_probability,
+                                    std::uint64_t seed);
+
+/// Star graph: one hub connected to n-1 leaves. Stresses the high-degree
+/// (thread-block granularity) compute kernel.
+[[nodiscard]] Graph gen_star(vertex_t n);
+
+/// Path graph 0-1-2-...-(n-1): the pointer-jumping worst case.
+[[nodiscard]] Graph gen_path(vertex_t n);
+
+/// Complete graph on n vertices (n small!).
+[[nodiscard]] Graph gen_complete(vertex_t n);
+
+/// Disjoint union of `count` cliques of size `clique_size`: known component
+/// structure for verification tests.
+[[nodiscard]] Graph gen_clique_forest(vertex_t count, vertex_t clique_size);
+
+/// Graph with n vertices and no edges: n singleton components.
+[[nodiscard]] Graph gen_isolated(vertex_t n);
+
+}  // namespace ecl

@@ -1,0 +1,78 @@
+// Immutable CSR (compressed sparse row) graph representation.
+//
+// All CC implementations in this library operate on this structure. As in
+// the paper (§4, Table 2), an undirected graph is stored with both directed
+// edges present, so num_edges() counts directed edges (2x the number of
+// undirected edges).
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecl {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of a prebuilt CSR. `offsets` must have size n+1 with
+  /// offsets[0] == 0 and offsets[n] == adjacency.size(); use GraphBuilder
+  /// to construct one from an edge list safely.
+  Graph(std::vector<edge_t> offsets, std::vector<vertex_t> adjacency)
+      : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+    assert(!offsets_.empty());
+    assert(offsets_.front() == 0);
+    assert(offsets_.back() == adjacency_.size());
+  }
+
+  /// Number of vertices n.
+  [[nodiscard]] vertex_t num_vertices() const {
+    return static_cast<vertex_t>(offsets_.size() - 1);
+  }
+
+  /// Number of *directed* edges (2x undirected when symmetrized).
+  [[nodiscard]] edge_t num_edges() const {
+    return static_cast<edge_t>(adjacency_.size());
+  }
+
+  /// Out-degree of v.
+  [[nodiscard]] vertex_t degree(vertex_t v) const {
+    assert(v < num_vertices());
+    return static_cast<vertex_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Adjacency list of v in storage order.
+  [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const {
+    assert(v < num_vertices());
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// CSR row-offset array (size n+1). Exposed for kernel-style loops that
+  /// index edges directly.
+  [[nodiscard]] std::span<const edge_t> offsets() const { return offsets_; }
+
+  /// CSR adjacency array (size m). Entry j is the head of directed edge j.
+  [[nodiscard]] std::span<const vertex_t> adjacency() const { return adjacency_; }
+
+  /// True when the graph has no vertices.
+  [[nodiscard]] bool empty() const { return num_vertices() == 0; }
+
+  /// Approximate in-memory footprint in bytes (CSR arrays only).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return offsets_.size() * sizeof(edge_t) + adjacency_.size() * sizeof(vertex_t);
+  }
+
+ private:
+  std::vector<edge_t> offsets_{0};
+  std::vector<vertex_t> adjacency_;
+};
+
+/// A directed edge as (tail, head); the builder's input unit.
+using Edge = std::pair<vertex_t, vertex_t>;
+
+}  // namespace ecl

@@ -1,0 +1,188 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace ecl {
+
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x45434c4347313041ULL;  // "ECLCG10A"
+
+[[noreturn]] void fail(const std::string& what) { throw std::runtime_error(what); }
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open graph file: " + path);
+  return in;
+}
+
+/// Remaps arbitrary 64-bit vertex IDs (SNAP files routinely skip IDs) to a
+/// dense [0, n) range in first-appearance order.
+class IdCompactor {
+ public:
+  vertex_t map(std::uint64_t raw) {
+    const auto [it, inserted] = ids_.try_emplace(raw, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  [[nodiscard]] vertex_t size() const { return next_; }
+
+ private:
+  std::unordered_map<std::uint64_t, vertex_t> ids_;
+  vertex_t next_ = 0;
+};
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in, const BuildOptions& opts) {
+  IdCompactor compact;
+  std::vector<Edge> edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(ss >> u >> v)) fail("malformed edge list line: " + line);
+    edges.emplace_back(compact.map(u), compact.map(v));
+  }
+  return build_graph(compact.size(), edges, opts);
+}
+
+Graph load_edge_list(const std::string& path, const BuildOptions& opts) {
+  auto in = open_or_throw(path);
+  return read_edge_list(in, opts);
+}
+
+Graph read_dimacs(std::istream& in, const BuildOptions& opts) {
+  std::string line;
+  vertex_t n = 0;
+  std::vector<Edge> edges;
+  bool saw_problem = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ss(line);
+    char tag = 0;
+    ss >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      std::uint64_t nn = 0;
+      std::uint64_t mm = 0;
+      if (!(ss >> kind >> nn >> mm)) fail("malformed DIMACS problem line: " + line);
+      n = static_cast<vertex_t>(nn);
+      edges.reserve(mm);
+      saw_problem = true;
+    } else if (tag == 'a' || tag == 'e') {
+      if (!saw_problem) fail("DIMACS edge before problem line");
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      if (!(ss >> u >> v)) fail("malformed DIMACS arc line: " + line);
+      if (u == 0 || v == 0 || u > n || v > n) fail("DIMACS vertex out of range: " + line);
+      edges.emplace_back(static_cast<vertex_t>(u - 1), static_cast<vertex_t>(v - 1));
+    }
+  }
+  if (!saw_problem) fail("DIMACS file has no problem line");
+  return build_graph(n, edges, opts);
+}
+
+Graph load_dimacs(const std::string& path, const BuildOptions& opts) {
+  auto in = open_or_throw(path);
+  return read_dimacs(in, opts);
+}
+
+Graph read_matrix_market(std::istream& in, const BuildOptions& opts) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
+    fail("not a MatrixMarket file");
+  }
+  if (line.find("coordinate") == std::string::npos) {
+    fail("only coordinate-format MatrixMarket files are supported");
+  }
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t nnz = 0;
+  if (!(size_line >> rows >> cols >> nnz)) fail("malformed MatrixMarket size line");
+  const vertex_t n = static_cast<vertex_t>(std::max(rows, cols));
+
+  std::vector<Edge> edges;
+  edges.reserve(nnz);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ss(line);
+    std::uint64_t r = 0;
+    std::uint64_t c = 0;
+    if (!(ss >> r >> c)) fail("malformed MatrixMarket entry: " + line);
+    if (r == 0 || c == 0 || r > n || c > n) fail("MatrixMarket entry out of range: " + line);
+    edges.emplace_back(static_cast<vertex_t>(r - 1), static_cast<vertex_t>(c - 1));
+  }
+  return build_graph(n, edges, opts);
+}
+
+Graph load_matrix_market(const std::string& path, const BuildOptions& opts) {
+  auto in = open_or_throw(path);
+  return read_matrix_market(in, opts);
+}
+
+void save_binary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot write graph file: " + path);
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&kBinaryMagic), sizeof(kBinaryMagic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(edge_t)));
+  out.write(reinterpret_cast<const char*>(g.adjacency().data()),
+            static_cast<std::streamsize>(g.adjacency().size() * sizeof(vertex_t)));
+  if (!out) fail("short write to graph file: " + path);
+}
+
+Graph load_binary(const std::string& path) {
+  auto in = open_or_throw(path);
+  std::uint64_t magic = 0;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in || magic != kBinaryMagic) fail("bad binary graph header: " + path);
+  std::vector<edge_t> offsets(n + 1);
+  std::vector<vertex_t> adjacency(m);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(edge_t)));
+  in.read(reinterpret_cast<char*>(adjacency.data()),
+          static_cast<std::streamsize>(adjacency.size() * sizeof(vertex_t)));
+  if (!in) fail("truncated binary graph: " + path);
+  if (offsets.front() != 0 || offsets.back() != m) fail("corrupt CSR offsets: " + path);
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) fail("corrupt CSR offsets: " + path);
+  }
+  for (const vertex_t v : adjacency) {
+    if (v >= n) fail("corrupt CSR adjacency: " + path);
+  }
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+Graph load_auto(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() && path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with(".gr")) return load_dimacs(path);
+  if (ends_with(".mtx")) return load_matrix_market(path);
+  if (ends_with(".eclg")) return load_binary(path);
+  return load_edge_list(path);
+}
+
+}  // namespace ecl

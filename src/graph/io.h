@@ -1,0 +1,50 @@
+// Graph file I/O.
+//
+// The paper pulls inputs from four repositories (SNAP, SMC, DIMACS, Galois)
+// with different on-disk formats; like the authors ("we changed the code
+// that reads in the input graph or wrote graph converters", §4) we support
+// each format plus a fast binary CSR container:
+//
+//   * SNAP / plain edge list: one "u v" pair per line, '#' comments.
+//   * DIMACS challenge 9 (.gr): "c" comments, "p sp <n> <m>" header,
+//     "a <u> <v> <w>" arcs, 1-based vertices.
+//   * MatrixMarket coordinate (.mtx): "%%MatrixMarket" header, "%" comments,
+//     "<rows> <cols> <nnz>" size line, 1-based entries.
+//   * ECL binary (.eclg): little-endian [magic, n, m, offsets, adjacency].
+//
+// All loaders condition the input through GraphBuilder (symmetrize, drop
+// self-loops, dedupe), matching the paper's preprocessing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace ecl {
+
+/// Loads a SNAP-style edge list. Vertex IDs are compacted to [0, n).
+/// Throws std::runtime_error on unreadable/malformed input.
+[[nodiscard]] Graph load_edge_list(const std::string& path, const BuildOptions& opts = {});
+[[nodiscard]] Graph read_edge_list(std::istream& in, const BuildOptions& opts = {});
+
+/// Loads a DIMACS challenge-9 .gr file (edge weights are ignored; CC does
+/// not use them). Throws std::runtime_error on malformed input.
+[[nodiscard]] Graph load_dimacs(const std::string& path, const BuildOptions& opts = {});
+[[nodiscard]] Graph read_dimacs(std::istream& in, const BuildOptions& opts = {});
+
+/// Loads a MatrixMarket coordinate-format sparse matrix as a graph
+/// (pattern/real/integer; values ignored). Throws on malformed input.
+[[nodiscard]] Graph load_matrix_market(const std::string& path, const BuildOptions& opts = {});
+[[nodiscard]] Graph read_matrix_market(std::istream& in, const BuildOptions& opts = {});
+
+/// Binary CSR container: exact round-trip of the in-memory representation.
+void save_binary(const Graph& g, const std::string& path);
+[[nodiscard]] Graph load_binary(const std::string& path);
+
+/// Dispatches on file extension: .gr -> DIMACS, .mtx -> MatrixMarket,
+/// .eclg -> binary, anything else -> edge list.
+[[nodiscard]] Graph load_auto(const std::string& path);
+
+}  // namespace ecl

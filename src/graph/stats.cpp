@@ -1,0 +1,77 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace ecl {
+
+GraphStats compute_stats(const Graph& g, std::string name) {
+  GraphStats s;
+  s.name = std::move(name);
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  if (g.num_vertices() == 0) return s;
+
+  vertex_t dmin = std::numeric_limits<vertex_t>::max();
+  vertex_t dmax = 0;
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    const vertex_t d = g.degree(v);
+    dmin = std::min(dmin, d);
+    dmax = std::max(dmax, d);
+  }
+  s.min_degree = dmin;
+  s.max_degree = dmax;
+  s.avg_degree = static_cast<double>(g.num_edges()) / static_cast<double>(g.num_vertices());
+  s.num_components = count_components(g);
+  return s;
+}
+
+std::vector<vertex_t> reference_components(const Graph& g) {
+  const vertex_t n = g.num_vertices();
+  std::vector<vertex_t> label(n, kInvalidVertex);
+  std::vector<vertex_t> queue;
+  queue.reserve(n);
+
+  for (vertex_t source = 0; source < n; ++source) {
+    if (label[source] != kInvalidVertex) continue;
+    // `source` is the smallest unvisited ID, hence the smallest ID in its
+    // component (all smaller vertices in the component would have reached
+    // it already) — so labels are canonical by construction.
+    label[source] = source;
+    queue.clear();
+    queue.push_back(source);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const vertex_t u = queue[head];
+      for (const vertex_t w : g.neighbors(u)) {
+        if (label[w] == kInvalidVertex) {
+          label[w] = source;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+vertex_t count_components(const Graph& g) {
+  const auto labels = reference_components(g);
+  vertex_t count = 0;
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    if (labels[v] == v) ++count;
+  }
+  return count;
+}
+
+std::vector<vertex_t> component_sizes(const Graph& g) {
+  const auto labels = reference_components(g);
+  std::unordered_map<vertex_t, vertex_t> size_of;
+  for (const vertex_t l : labels) ++size_of[l];
+  std::vector<vertex_t> sizes;
+  sizes.reserve(size_of.size());
+  for (const auto& [label, size] : size_of) sizes.push_back(size);
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes;
+}
+
+}  // namespace ecl

@@ -1,0 +1,39 @@
+// Graph property reporting (paper Table 2) and the reference CC labeling
+// used as ground truth throughout the test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ecl {
+
+/// The per-graph columns of the paper's Table 2.
+struct GraphStats {
+  std::string name;
+  vertex_t num_vertices = 0;
+  edge_t num_edges = 0;  // directed edges, as in the paper
+  vertex_t min_degree = 0;
+  double avg_degree = 0.0;
+  vertex_t max_degree = 0;
+  vertex_t num_components = 0;
+};
+
+/// Computes all Table 2 columns for `g` (component count via BFS).
+[[nodiscard]] GraphStats compute_stats(const Graph& g, std::string name);
+
+/// Serial BFS connected-components labeling: every vertex is labeled with
+/// the smallest vertex ID in its component. This is the ground truth the
+/// paper's codes verify against ("comparing it to the solution of the
+/// serial code", §4).
+[[nodiscard]] std::vector<vertex_t> reference_components(const Graph& g);
+
+/// Number of distinct connected components of `g`.
+[[nodiscard]] vertex_t count_components(const Graph& g);
+
+/// Histogram of component sizes, descending. Entry i is the size of the
+/// (i+1)-largest component.
+[[nodiscard]] std::vector<vertex_t> component_sizes(const Graph& g);
+
+}  // namespace ecl

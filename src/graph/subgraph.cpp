@@ -1,0 +1,64 @@
+#include "graph/subgraph.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/stats.h"
+
+namespace ecl {
+
+Subgraph induced_subgraph(const Graph& g, std::span<const std::uint8_t> keep) {
+  if (keep.size() != g.num_vertices()) {
+    throw std::invalid_argument("induced_subgraph: keep mask size mismatch");
+  }
+  Subgraph sub;
+  sub.local_id.assign(g.num_vertices(), kInvalidVertex);
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    if (keep[v]) {
+      sub.local_id[v] = static_cast<vertex_t>(sub.original_id.size());
+      sub.original_id.push_back(v);
+    }
+  }
+
+  const auto n_sub = static_cast<vertex_t>(sub.original_id.size());
+  std::vector<edge_t> offsets(static_cast<std::size_t>(n_sub) + 1, 0);
+  std::vector<vertex_t> adjacency;
+  for (vertex_t lv = 0; lv < n_sub; ++lv) {
+    offsets[lv] = static_cast<edge_t>(adjacency.size());
+    for (const vertex_t u : g.neighbors(sub.original_id[lv])) {
+      if (keep[u]) adjacency.push_back(sub.local_id[u]);
+    }
+  }
+  offsets[n_sub] = static_cast<edge_t>(adjacency.size());
+  sub.graph = Graph(std::move(offsets), std::move(adjacency));
+  return sub;
+}
+
+Subgraph extract_component(const Graph& g, std::span<const vertex_t> labels,
+                           vertex_t component) {
+  if (labels.size() != g.num_vertices()) {
+    throw std::invalid_argument("extract_component: label array size mismatch");
+  }
+  std::vector<std::uint8_t> keep(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    keep[v] = labels[v] == component ? 1 : 0;
+  }
+  return induced_subgraph(g, keep);
+}
+
+Subgraph largest_component(const Graph& g) {
+  const auto labels = reference_components(g);
+  std::unordered_map<vertex_t, vertex_t> sizes;
+  for (const vertex_t l : labels) ++sizes[l];
+  vertex_t best_label = 0;
+  vertex_t best_size = 0;
+  for (const auto& [label, size] : sizes) {
+    if (size > best_size || (size == best_size && label < best_label)) {
+      best_label = label;
+      best_size = size;
+    }
+  }
+  return extract_component(g, labels, best_label);
+}
+
+}  // namespace ecl

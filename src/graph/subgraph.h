@@ -1,0 +1,40 @@
+// Subgraph extraction utilities.
+//
+// The most common follow-up to a CC computation is restricting further
+// processing to one component (usually the giant one): these helpers
+// extract induced subgraphs with dense re-numbered vertex IDs and keep the
+// mapping back to the original graph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ecl {
+
+/// An induced subgraph plus the vertex-ID mapping to its parent graph.
+struct Subgraph {
+  Graph graph;
+  /// original_id[v] is the parent-graph ID of subgraph vertex v.
+  std::vector<vertex_t> original_id;
+  /// Inverse map: local_id[u] is u's subgraph ID, kInvalidVertex if u was
+  /// not selected.
+  std::vector<vertex_t> local_id;
+};
+
+/// Induced subgraph over the vertices where keep[v] is true. Edges are kept
+/// iff both endpoints are kept; vertex IDs are compacted preserving order.
+[[nodiscard]] Subgraph induced_subgraph(const Graph& g, std::span<const std::uint8_t> keep);
+
+/// Induced subgraph of one component: all vertices v with labels[v] ==
+/// `component` (labels as produced by any CC implementation).
+[[nodiscard]] Subgraph extract_component(const Graph& g, std::span<const vertex_t> labels,
+                                         vertex_t component);
+
+/// Induced subgraph of the largest component (ties broken by smaller
+/// label). Computes the labeling internally (BFS reference); pass an
+/// existing labeling to extract_component to reuse an ECL-CC result.
+[[nodiscard]] Subgraph largest_component(const Graph& g);
+
+}  // namespace ecl

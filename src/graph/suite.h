@@ -1,0 +1,39 @@
+// The benchmark input suite: scaled synthetic stand-ins for the paper's 18
+// graphs (Table 2).
+//
+// Sizes default to roughly 1/32nd of the originals so the entire
+// evaluation runs in minutes on one core; the *relative* sizes and the
+// structural families are preserved. Pass scale > 1 to grow toward the
+// paper's sizes on bigger machines.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ecl {
+
+struct SuiteEntry {
+  std::string name;    // paper's graph name, e.g. "europe_osm"
+  std::string family;  // generator family, e.g. "road map"
+  std::function<Graph(double scale)> make;
+};
+
+/// All 18 suite entries in the paper's Table 2 order.
+[[nodiscard]] const std::vector<SuiteEntry>& paper_suite();
+
+/// Names of the suite graphs, in order.
+[[nodiscard]] std::vector<std::string> suite_names();
+
+/// Builds one suite graph by name; throws std::invalid_argument for unknown
+/// names. `scale` multiplies the vertex count (default sizes at 1.0).
+[[nodiscard]] Graph make_suite_graph(std::string_view name, double scale = 1.0);
+
+/// A reduced five-graph suite covering the extremes (long-diameter road,
+/// grid, skewed Kronecker, uniform random, web) for quick ablations.
+[[nodiscard]] std::vector<std::string> small_suite_names();
+
+}  // namespace ecl

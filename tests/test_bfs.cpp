@@ -1,0 +1,131 @@
+// Tests for the direction-optimizing BFS substrate.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace ecl {
+namespace {
+
+/// Naive serial reference BFS distances.
+std::vector<std::uint32_t> reference_distances(const Graph& g, vertex_t source) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  dist[source] = 0;
+  std::queue<vertex_t> q;
+  q.push(source);
+  while (!q.empty()) {
+    const vertex_t v = q.front();
+    q.pop();
+    for (const vertex_t u : g.neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(Bfs, PathGraphDistances) {
+  const Graph g = gen_path(100);
+  const auto result = bfs(g, 0);
+  EXPECT_EQ(result.num_reached, 100u);
+  for (vertex_t v = 0; v < 100; ++v) EXPECT_EQ(result.distance[v], v);
+}
+
+TEST(Bfs, StarGraphDistances) {
+  const Graph g = gen_star(1000);
+  const auto from_hub = bfs(g, 0);
+  for (vertex_t v = 1; v < 1000; ++v) EXPECT_EQ(from_hub.distance[v], 1u);
+  const auto from_leaf = bfs(g, 7);
+  EXPECT_EQ(from_leaf.distance[0], 1u);
+  EXPECT_EQ(from_leaf.distance[8], 2u);
+}
+
+TEST(Bfs, UnreachableVerticesStayMarked) {
+  const Graph g = gen_clique_forest(3, 5);
+  const auto result = bfs(g, 0);
+  EXPECT_EQ(result.num_reached, 5u);
+  for (vertex_t v = 5; v < 15; ++v) EXPECT_EQ(result.distance[v], kUnreachable);
+}
+
+TEST(Bfs, MatchesReferenceOnVariedGraphs) {
+  const Graph graphs[] = {
+      gen_grid2d(40, 30),
+      gen_kronecker(11, 12, 3),
+      gen_road_network(5000, 4),
+      gen_web_graph(4000, 9),
+  };
+  for (const auto& g : graphs) {
+    const auto result = bfs(g, 0);
+    EXPECT_EQ(result.distance, reference_distances(g, 0));
+  }
+}
+
+TEST(Bfs, BottomUpTriggersOnDenseGraphs) {
+  // A clique-like dense graph saturates the frontier immediately, so the
+  // optimizer must switch to bottom-up at least once.
+  const Graph g = gen_complete(300);
+  const auto result = bfs(g, 0);
+  EXPECT_GT(result.direction_switches, 0);
+  EXPECT_EQ(result.num_reached, 300u);
+  for (vertex_t v = 1; v < 300; ++v) EXPECT_EQ(result.distance[v], 1u);
+}
+
+TEST(Bfs, TopDownOnlyOnLongPaths) {
+  // A path's frontier is one vertex: never worth a dense sweep.
+  const auto result = bfs(gen_path(5000), 2500);
+  EXPECT_EQ(result.direction_switches, 0);
+  EXPECT_EQ(result.num_reached, 5000u);
+}
+
+TEST(Bfs, ForcedBottomUpStillCorrect) {
+  // The switch threshold is (edges / alpha): a tiny alpha makes it
+  // unreachable (pure top-down), a huge alpha makes it immediate.
+  BfsOptions opts;
+  opts.alpha = 1e-9;
+  const Graph g = gen_kronecker(10, 8, 5);
+  const auto td = bfs(g, 0, opts);
+  EXPECT_EQ(td.direction_switches, 0);
+  opts.alpha = 1e18;
+  opts.beta = 1e18;
+  const auto bu = bfs(g, 0, opts);
+  EXPECT_EQ(td.distance, bu.distance);
+  EXPECT_GT(bu.direction_switches, 0);
+}
+
+TEST(Bfs, OversubscribedThreadsCorrect) {
+  BfsOptions opts;
+  opts.num_threads = 8;
+  const Graph g = gen_uniform_random(20000, 60000, 6);
+  EXPECT_EQ(bfs(g, 0, opts).distance, reference_distances(g, 0));
+}
+
+TEST(BfsLabel, LabelsOnlyReachedComponent) {
+  const Graph g = gen_clique_forest(4, 6);
+  std::vector<vertex_t> label(g.num_vertices(), kInvalidVertex);
+  const vertex_t reached = bfs_label(g, 6, 6, label);
+  EXPECT_EQ(reached, 6u);
+  for (vertex_t v = 6; v < 12; ++v) EXPECT_EQ(label[v], 6u);
+  for (vertex_t v = 0; v < 6; ++v) EXPECT_EQ(label[v], kInvalidVertex);
+}
+
+TEST(BfsLabel, SkipsVisitedSource) {
+  const Graph g = gen_path(10);
+  std::vector<vertex_t> label(10, kInvalidVertex);
+  EXPECT_EQ(bfs_label(g, 0, 0, label), 10u);
+  EXPECT_EQ(bfs_label(g, 5, 5, label), 0u);  // already labeled
+  EXPECT_EQ(label[5], 0u);
+}
+
+TEST(Bfs, EmptyGraph) {
+  const auto result = bfs(Graph(), 0);
+  EXPECT_TRUE(result.distance.empty());
+  EXPECT_EQ(result.num_reached, 0u);
+}
+
+}  // namespace
+}  // namespace ecl

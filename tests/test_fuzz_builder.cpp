@@ -1,0 +1,110 @@
+// Fuzz-style tests: random messy edge lists (self-loops, duplicates, both
+// directions, skewed endpoints) conditioned by GraphBuilder must match a
+// naive set-based reference, and the resulting graphs must be labeled
+// identically by all core implementations.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "core/ecl_cc.h"
+#include "graph/builder.h"
+#include "graph/stats.h"
+#include "graph/suite.h"
+#include "gpusim/gpu_cc.h"
+
+namespace ecl {
+namespace {
+
+/// Naive reference conditioning: symmetrize, drop loops, dedupe via a set.
+std::set<std::pair<vertex_t, vertex_t>> reference_edge_set(const std::vector<Edge>& edges) {
+  std::set<std::pair<vertex_t, vertex_t>> out;
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    out.emplace(u, v);
+    out.emplace(v, u);
+  }
+  return out;
+}
+
+std::vector<Edge> random_messy_edges(std::uint64_t seed, vertex_t n, std::size_t count) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    vertex_t u;
+    vertex_t v;
+    switch (rng.bounded(5)) {
+      case 0:  // self loop
+        u = v = static_cast<vertex_t>(rng.bounded(n));
+        break;
+      case 1:  // duplicate-prone: small endpoint range
+        u = static_cast<vertex_t>(rng.bounded(8));
+        v = static_cast<vertex_t>(rng.bounded(8));
+        break;
+      case 2:  // hub edge
+        u = 0;
+        v = static_cast<vertex_t>(rng.bounded(n));
+        break;
+      default:  // uniform
+        u = static_cast<vertex_t>(rng.bounded(n));
+        v = static_cast<vertex_t>(rng.bounded(n));
+        break;
+    }
+    edges.emplace_back(u, v);
+  }
+  return edges;
+}
+
+class BuilderFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuilderFuzz, ConditioningMatchesNaiveReference) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const vertex_t n = 50 + static_cast<vertex_t>(GetParam()) * 37;
+  const auto raw = random_messy_edges(seed, n, 40 + 60 * static_cast<std::size_t>(GetParam()));
+  const Graph g = build_graph(n, raw);
+  const auto expected = reference_edge_set(raw);
+
+  EXPECT_EQ(g.num_edges(), expected.size());
+  std::set<std::pair<vertex_t, vertex_t>> actual;
+  for (vertex_t v = 0; v < n; ++v) {
+    vertex_t prev = 0;
+    bool first = true;
+    for (const vertex_t u : g.neighbors(v)) {
+      EXPECT_NE(u, v) << "self loop survived";
+      if (!first) EXPECT_GT(u, prev) << "unsorted or duplicate neighbor";
+      prev = u;
+      first = false;
+      actual.emplace(v, u);
+    }
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_P(BuilderFuzz, AllCoreImplementationsAgree) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) + 1000;
+  const vertex_t n = 200 + static_cast<vertex_t>(GetParam()) * 91;
+  const Graph g = build_graph(n, random_messy_edges(seed, n, 3 * n));
+  const auto reference = reference_components(g);
+  EXPECT_EQ(ecl_cc_serial(g), reference);
+  EXPECT_EQ(ecl_cc_omp(g), reference);
+  EXPECT_EQ(gpusim::ecl_cc_gpu(g, gpusim::titanx_like()).labels, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuilderFuzz, ::testing::Range(0, 12));
+
+TEST(SuiteDeterminism, SameNameAndScaleYieldIdenticalGraphs) {
+  for (const char* name : {"internet", "rmat16.sym", "USA-road-d.NY"}) {
+    const Graph a = make_suite_graph(name, 0.5);
+    const Graph b = make_suite_graph(name, 0.5);
+    ASSERT_EQ(a.num_vertices(), b.num_vertices()) << name;
+    ASSERT_EQ(a.num_edges(), b.num_edges()) << name;
+    EXPECT_TRUE(std::equal(a.adjacency().begin(), a.adjacency().end(),
+                           b.adjacency().begin()))
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace ecl

@@ -1,0 +1,156 @@
+// Property tests for the synthetic graph generators: determinism, size,
+// degree structure, and the component signatures each family promises.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "graph/suite.h"
+
+namespace ecl {
+namespace {
+
+TEST(GenGrid, SizeAndDegrees) {
+  const Graph g = gen_grid2d(8, 13);
+  EXPECT_EQ(g.num_vertices(), 104u);
+  // 4-neighbor mesh: m_undirected = r*(c-1) + (r-1)*c
+  EXPECT_EQ(g.num_edges(), 2u * (8 * 12 + 7 * 13));
+  const auto s = compute_stats(g, "g");
+  EXPECT_EQ(s.min_degree, 2u);  // corners
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_EQ(s.num_components, 1u);
+}
+
+TEST(GenGrid, DegenerateSingleRow) {
+  const Graph g = gen_grid2d(1, 5);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(count_components(g), 1u);
+}
+
+TEST(GenDelaunay, AverageDegreeNearSix) {
+  const auto s = compute_stats(gen_delaunay_like(60, 60), "d");
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_GT(s.avg_degree, 4.5);
+  EXPECT_LT(s.avg_degree, 6.5);
+}
+
+TEST(GenUniformRandom, Deterministic) {
+  const Graph a = gen_uniform_random(1000, 3000, 17);
+  const Graph b = gen_uniform_random(1000, 3000, 17);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.adjacency().begin(), a.adjacency().end(),
+                         b.adjacency().begin()));
+}
+
+TEST(GenUniformRandom, SeedChangesGraph) {
+  const Graph a = gen_uniform_random(1000, 3000, 17);
+  const Graph b = gen_uniform_random(1000, 3000, 18);
+  EXPECT_FALSE(a.num_edges() == b.num_edges() &&
+               std::equal(a.adjacency().begin(), a.adjacency().end(),
+                          b.adjacency().begin()));
+}
+
+TEST(GenRmat, VertexCountIsPowerOfScale) {
+  const Graph g = gen_rmat(12, 8, RmatParams{}, 5);
+  EXPECT_EQ(g.num_vertices(), 1u << 12);
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(GenRmat, SkewedDegreesAndIsolatedVertices) {
+  const auto s = compute_stats(gen_rmat(14, 8, RmatParams{}, 5), "rmat");
+  EXPECT_EQ(s.min_degree, 0u);                       // isolated vertices exist
+  EXPECT_GT(s.max_degree, 20 * s.avg_degree);        // heavy tail
+  EXPECT_GT(s.num_components, 100u);                 // many tiny components
+}
+
+TEST(GenRmat, RejectsBadScale) {
+  EXPECT_THROW(gen_rmat(0, 8, RmatParams{}, 1), std::invalid_argument);
+  EXPECT_THROW(gen_rmat(31, 8, RmatParams{}, 1), std::invalid_argument);
+}
+
+TEST(GenKronecker, MoreSkewedThanDefaultRmat) {
+  const auto kron = compute_stats(gen_kronecker(13, 16, 5), "kron");
+  const auto rmat = compute_stats(gen_rmat(13, 16, RmatParams{}, 5), "rmat");
+  EXPECT_GT(kron.max_degree, rmat.max_degree);
+}
+
+TEST(GenRoad, LowDegreeGiantComponent) {
+  const auto s = compute_stats(gen_road_network(20000, 11), "road");
+  EXPECT_EQ(s.num_vertices, 20000u);
+  EXPECT_GT(s.avg_degree, 1.5);
+  EXPECT_LT(s.avg_degree, 4.5);
+  EXPECT_LE(s.max_degree, 8u);
+  // Giant component dominates.
+  const auto sizes = component_sizes(gen_road_network(20000, 11));
+  EXPECT_GT(sizes[0], 15000u);
+}
+
+TEST(GenPreferentialAttachment, HeavyTailConnected) {
+  const auto s = compute_stats(gen_preferential_attachment(5000, 4, 13), "pa");
+  EXPECT_EQ(s.num_components, 1u);  // each vertex links to an earlier one
+  EXPECT_GT(s.max_degree, 10 * s.avg_degree);
+}
+
+TEST(GenCitation, HasMultipleComponents) {
+  const auto s = compute_stats(gen_citation(20000, 4, 0.7, 19), "cit");
+  EXPECT_GT(s.num_components, 50u);  // uncited/unciting papers
+  EXPECT_EQ(s.min_degree, 0u);
+}
+
+TEST(GenWeb, SignatureOfTable2) {
+  const auto s = compute_stats(gen_web_graph(20000, 23), "web");
+  EXPECT_EQ(s.min_degree, 0u);             // isolated pages
+  EXPECT_GT(s.max_degree, 40u);            // hub pages
+  EXPECT_GT(s.num_components, 20u);        // crawl fragments
+  const auto sizes = component_sizes(gen_web_graph(20000, 23));
+  EXPECT_GT(sizes[0], 10000u);             // one giant component
+}
+
+TEST(GenSmallWorld, RingDegreeWithoutRewiring) {
+  const auto s = compute_stats(gen_small_world(100, 3, 0.0, 1), "sw");
+  EXPECT_EQ(s.min_degree, 6u);
+  EXPECT_EQ(s.max_degree, 6u);
+  EXPECT_EQ(s.num_components, 1u);
+}
+
+TEST(GenSmallWorld, RejectsTooLargeK) {
+  EXPECT_THROW(gen_small_world(10, 5, 0.1, 1), std::invalid_argument);
+}
+
+TEST(Suite, AllEighteenGraphsPresent) {
+  EXPECT_EQ(paper_suite().size(), 18u);
+  const auto names = suite_names();
+  EXPECT_EQ(names.front(), "2d-2e20.sym");
+  EXPECT_EQ(names.back(), "USA-road-d.USA");
+}
+
+TEST(Suite, SmallScaleBuildsAndMatchesFamilies) {
+  // Build every suite graph at 1/64 scale: must be non-empty and valid.
+  for (const auto& name : suite_names()) {
+    const Graph g = make_suite_graph(name, 1.0 / 64.0);
+    EXPECT_GT(g.num_vertices(), 0u) << name;
+    const auto offs = g.offsets();
+    EXPECT_EQ(offs.back(), g.num_edges()) << name;
+  }
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(make_suite_graph("no_such_graph"), std::invalid_argument);
+}
+
+TEST(Suite, ScaleGrowsGraph) {
+  const Graph small = make_suite_graph("internet", 0.25);
+  const Graph large = make_suite_graph("internet", 1.0);
+  EXPECT_LT(small.num_vertices(), large.num_vertices());
+}
+
+TEST(Suite, SmallSuiteIsSubsetOfFullSuite) {
+  const auto all = suite_names();
+  for (const auto& name : small_suite_names()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ecl

@@ -1,0 +1,168 @@
+// Correctness tests for every GPU CC implementation on the virtual device:
+// all five codes (ECL-CC, Groute, Gunrock, IrGL, Soman) must reproduce the
+// reference partition on the full graph fixture, on both device configs.
+#include <gtest/gtest.h>
+
+#include "core/verify.h"
+#include "graph/stats.h"
+#include "gpusim/gpu_cc.h"
+#include "test_util.h"
+
+namespace ecl::gpusim {
+namespace {
+
+using ecl::testing::correctness_graphs;
+
+class GpuCodeTest : public ::testing::TestWithParam<int> {
+ protected:
+  static const GpuCode& code() {
+    return gpu_codes()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(GpuCodeTest, MatchesReferenceOnAllGraphs) {
+  for (const auto& [name, g] : correctness_graphs()) {
+    const auto result = code().run(g, titanx_like());
+    const auto reference = reference_components(g);
+    ASSERT_EQ(result.labels.size(), reference.size()) << code().name << " on " << name;
+    EXPECT_TRUE(same_partition(result.labels, reference)) << code().name << " on " << name;
+  }
+}
+
+TEST_P(GpuCodeTest, WorksOnK40Config) {
+  const Graph g = gen_kronecker(11, 12, 99);
+  const auto result = code().run(g, k40_like());
+  EXPECT_TRUE(same_partition(result.labels, reference_components(g))) << code().name;
+}
+
+TEST_P(GpuCodeTest, ReportsTimeAndTraffic) {
+  const Graph g = gen_grid2d(64, 64);
+  const auto result = code().run(g, titanx_like());
+  EXPECT_GT(result.time_ms, 0.0) << code().name;
+  EXPECT_FALSE(result.kernels.empty()) << code().name;
+  EXPECT_GT(result.memory.reads, 0u) << code().name;
+}
+
+std::string gpu_code_name(const ::testing::TestParamInfo<int>& inf) {
+  std::string name = gpu_codes()[static_cast<std::size_t>(inf.param)].name;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpuCodes, GpuCodeTest,
+                         ::testing::Range(0, static_cast<int>(gpu_codes().size())),
+                         gpu_code_name);
+
+// ---------------------------------------------------------------------------
+// ECL-CC pipeline specifics
+
+TEST(EclCcGpu, LabelsAreCanonicalMinima) {
+  const Graph g = gen_clique_forest(12, 8);
+  const auto result = ecl_cc_gpu(g, titanx_like());
+  EXPECT_EQ(result.labels, reference_components(g));
+}
+
+TEST(EclCcGpu, FiveKernelsLaunchedOnMixedDegreeGraph) {
+  // A graph with low-, mid- and high-degree vertices must exercise all
+  // three compute kernels.
+  GraphBuilder b(2000);
+  for (vertex_t v = 0; v + 1 < 1000; ++v) b.add_edge(v, v + 1);          // degree <= 2
+  for (vertex_t v = 1000; v < 1100; ++v) b.add_edge(1000, v);            // mid degree
+  for (vertex_t v = 1100; v < 2000; ++v) b.add_edge(1100, v);            // high degree
+  const Graph g = b.build();
+  const auto result = ecl_cc_gpu(g, titanx_like());
+  EXPECT_TRUE(same_partition(result.labels, reference_components(g)));
+  EXPECT_EQ(result.time_by_kernel.size(), 5u);
+  EXPECT_TRUE(result.time_by_kernel.contains("compute 2"));
+  EXPECT_TRUE(result.time_by_kernel.contains("compute 3"));
+}
+
+TEST(EclCcGpu, LowDegreeGraphSkipsWorklistKernels) {
+  const Graph g = gen_grid2d(50, 50);  // max degree 4
+  const auto result = ecl_cc_gpu(g, titanx_like());
+  EXPECT_FALSE(result.time_by_kernel.contains("compute 2"));
+  EXPECT_FALSE(result.time_by_kernel.contains("compute 3"));
+  EXPECT_TRUE(same_partition(result.labels, reference_components(g)));
+}
+
+TEST(EclCcGpu, AllPolicyCombinationsCorrect) {
+  const Graph g = gen_kronecker(10, 12, 5);
+  const auto reference = reference_components(g);
+  for (const auto init : {InitPolicy::kSelf, InitPolicy::kMinNeighbor,
+                          InitPolicy::kFirstSmallerNeighbor}) {
+    for (const auto jump : {JumpPolicy::kMultiple, JumpPolicy::kSingle, JumpPolicy::kNone,
+                            JumpPolicy::kIntermediate}) {
+      for (const auto fini : {FinalizePolicy::kIntermediate, FinalizePolicy::kMultiple,
+                              FinalizePolicy::kSingle}) {
+        GpuEclOptions opts;
+        opts.init = init;
+        opts.jump = jump;
+        opts.finalize = fini;
+        const auto result = ecl_cc_gpu(g, titanx_like(), opts);
+        ASSERT_TRUE(same_partition(result.labels, reference))
+            << "init=" << static_cast<int>(init) << " jump=" << static_cast<int>(jump)
+            << " fini=" << static_cast<int>(fini);
+      }
+    }
+  }
+}
+
+TEST(EclCcGpu, ThresholdVariationsStayCorrect) {
+  // The paper notes the 16/352 thresholds can vary widely without hurting
+  // correctness or much performance (§3).
+  const Graph g = gen_preferential_attachment(3000, 8, 21);
+  const auto reference = reference_components(g);
+  for (const vertex_t t1 : {vertex_t{4}, vertex_t{16}, vertex_t{64}}) {
+    for (const vertex_t t2 : {vertex_t{128}, vertex_t{352}, vertex_t{1024}}) {
+      GpuEclOptions opts;
+      opts.thread_degree_limit = t1;
+      opts.warp_degree_limit = t2;
+      const auto result = ecl_cc_gpu(g, titanx_like(), opts);
+      ASSERT_TRUE(same_partition(result.labels, reference)) << t1 << "/" << t2;
+    }
+  }
+}
+
+TEST(EclCcGpu, DeterministicAcrossRuns) {
+  const Graph g = gen_web_graph(4000, 3);
+  const auto a = ecl_cc_gpu(g, titanx_like());
+  const auto b = ecl_cc_gpu(g, titanx_like());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.time_ms, b.time_ms);
+  EXPECT_EQ(a.memory.l2_reads, b.memory.l2_reads);
+}
+
+// ---------------------------------------------------------------------------
+// Relative behaviour that the paper's figures rely on.
+
+TEST(GpuComparison, EclIsFastestOnRepresentativeGraph) {
+  // Fig. 11: ECL-CC beats the other four codes on most graphs. Use a
+  // mid-size Kronecker graph (skewed degrees) as the representative input.
+  const Graph g = gen_kronecker(13, 16, 7);
+  const double ecl = ecl_cc_gpu(g, titanx_like()).time_ms;
+  EXPECT_LT(ecl, soman_gpu(g, titanx_like()).time_ms);
+  EXPECT_LT(ecl, gunrock_gpu(g, titanx_like()).time_ms);
+  EXPECT_LT(ecl, irgl_gpu(g, titanx_like()).time_ms);
+  EXPECT_LT(ecl, groute_gpu(g, titanx_like()).time_ms);
+}
+
+TEST(GpuComparison, NoJumpingSlowerThanIntermediate) {
+  // Fig. 8 direction: Jump3 (no compression) must lose badly on a
+  // long-diameter graph.
+  const Graph g = gen_road_network(20000, 9);
+  GpuEclOptions none;
+  none.jump = JumpPolicy::kNone;
+  const double t_none = ecl_cc_gpu(g, titanx_like(), none).time_ms;
+  const double t_inter = ecl_cc_gpu(g, titanx_like()).time_ms;
+  EXPECT_GT(t_none, t_inter);
+}
+
+TEST(GpuComparison, K40SlowerThanTitanX) {
+  const Graph g = gen_kronecker(12, 16, 31);
+  EXPECT_GT(ecl_cc_gpu(g, k40_like()).time_ms, ecl_cc_gpu(g, titanx_like()).time_ms);
+}
+
+}  // namespace
+}  // namespace ecl::gpusim

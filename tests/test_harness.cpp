@@ -1,0 +1,112 @@
+// Tests for the benchmark harness: config parsing, suite filtering, and the
+// normalized ratio tables that drive the figure reproductions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/bench_harness.h"
+
+namespace ecl::harness {
+namespace {
+
+TEST(ParseConfig, Defaults) {
+  const char* argv[] = {"bench"};
+  const auto cfg = parse_config(1, argv);
+  EXPECT_DOUBLE_EQ(cfg.scale, 1.0);
+  EXPECT_EQ(cfg.reps, 3);
+  EXPECT_TRUE(cfg.graph_filter.empty());
+  EXPECT_TRUE(cfg.csv_dir.empty());
+}
+
+TEST(ParseConfig, CustomDefaultScale) {
+  const char* argv[] = {"bench"};
+  EXPECT_DOUBLE_EQ(parse_config(1, argv, 0.25).scale, 0.25);
+}
+
+TEST(ParseConfig, ExplicitFlagsOverride) {
+  const char* argv[] = {"bench", "--scale=2.5", "--reps=7", "--csv-dir=/tmp/x"};
+  const auto cfg = parse_config(4, argv, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.scale, 2.5);
+  EXPECT_EQ(cfg.reps, 7);
+  EXPECT_EQ(cfg.csv_dir, "/tmp/x");
+}
+
+TEST(ParseConfig, GraphListParsing) {
+  const char* argv[] = {"bench", "--graphs=internet,rmat16.sym"};
+  const auto cfg = parse_config(2, argv);
+  ASSERT_EQ(cfg.graph_filter.size(), 2u);
+  EXPECT_EQ(cfg.graph_filter[0], "internet");
+  EXPECT_EQ(cfg.graph_filter[1], "rmat16.sym");
+}
+
+TEST(ParseConfig, SmallSelectsReducedSuite) {
+  const char* argv[] = {"bench", "--small"};
+  const auto cfg = parse_config(2, argv);
+  EXPECT_EQ(cfg.graph_filter.size(), 5u);
+}
+
+TEST(LoadSuite, FilterRestrictsAndPreservesOrder) {
+  BenchConfig cfg;
+  cfg.scale = 1.0 / 64.0;
+  cfg.graph_filter = {"internet", "2d-2e20.sym"};
+  const auto graphs = load_suite(cfg);
+  ASSERT_EQ(graphs.size(), 2u);
+  EXPECT_EQ(graphs[0].first, "2d-2e20.sym");  // Table 2 order, not filter order
+  EXPECT_EQ(graphs[1].first, "internet");
+  EXPECT_GT(graphs[0].second.num_vertices(), 0u);
+}
+
+TEST(MeasureMs, UsesAtLeastOneRep) {
+  BenchConfig cfg;
+  cfg.reps = 0;
+  int calls = 0;
+  (void)measure_ms(cfg, [&] { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RatioTable, NormalizesToReference) {
+  RatioTable rt("caption", "ref", {"ref", "other"});
+  rt.record("g1", "ref", 2.0);
+  rt.record("g1", "other", 4.0);
+  rt.record("g2", "ref", 10.0);
+  rt.record("g2", "other", 5.0);
+  const auto gm = rt.geomean("other");
+  ASSERT_TRUE(gm.has_value());
+  EXPECT_NEAR(*gm, 1.0, 1e-12);  // sqrt(2.0 * 0.5)
+  EXPECT_NEAR(*rt.geomean("ref"), 1.0, 1e-12);
+}
+
+TEST(RatioTable, HandlesNaCells) {
+  RatioTable rt("caption", "ref", {"ref", "crono"});
+  rt.record("g1", "ref", 2.0);
+  rt.record("g1", "crono", std::nullopt);
+  rt.record("g2", "ref", 3.0);
+  rt.record("g2", "crono", 6.0);
+  const auto gm = rt.geomean("crono");
+  ASSERT_TRUE(gm.has_value());
+  EXPECT_NEAR(*gm, 2.0, 1e-12);  // only g2 counts
+
+  std::ostringstream os;
+  rt.normalized().write_markdown(os);
+  EXPECT_NE(os.str().find("n/a"), std::string::npos);
+}
+
+TEST(RatioTable, AbsoluteTableKeepsMilliseconds) {
+  RatioTable rt("caption", "a", {"a", "b"});
+  rt.record("g", "a", 1.25);
+  rt.record("g", "b", 123.4);
+  std::ostringstream os;
+  rt.absolute("abs").write_markdown(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  EXPECT_NE(out.find("123.4"), std::string::npos);
+}
+
+TEST(RatioTable, GeomeanEmptyWhenNoOverlap) {
+  RatioTable rt("caption", "ref", {"ref", "x"});
+  rt.record("g1", "ref", 2.0);
+  EXPECT_FALSE(rt.geomean("x").has_value());
+}
+
+}  // namespace
+}  // namespace ecl::harness

@@ -1,0 +1,98 @@
+// Tests for the streaming/incremental connectivity API.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/incremental.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace ecl {
+namespace {
+
+TEST(IncrementalCC, StartsAllSingletons) {
+  IncrementalCC cc(5);
+  EXPECT_EQ(cc.num_components(), 5u);
+  EXPECT_FALSE(cc.connected(0, 1));
+  EXPECT_EQ(cc.component_of(3), 3u);
+}
+
+TEST(IncrementalCC, EdgeInsertionMergesComponents) {
+  IncrementalCC cc(6);
+  cc.add_edge(0, 1);
+  EXPECT_TRUE(cc.connected(0, 1));
+  EXPECT_FALSE(cc.connected(0, 2));
+  cc.add_edge(2, 3);
+  cc.add_edge(1, 2);
+  EXPECT_TRUE(cc.connected(0, 3));
+  EXPECT_EQ(cc.num_components(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(IncrementalCC, QueriesInterleaveWithInsertions) {
+  IncrementalCC cc(100);
+  for (vertex_t v = 0; v + 1 < 100; ++v) {
+    EXPECT_FALSE(cc.connected(0, v + 1));
+    cc.add_edge(v, v + 1);
+    EXPECT_TRUE(cc.connected(0, v + 1));
+  }
+  EXPECT_EQ(cc.num_components(), 1u);
+}
+
+TEST(IncrementalCC, DuplicateAndReversedEdgesAreIdempotent) {
+  IncrementalCC cc(4);
+  cc.add_edge(0, 1);
+  cc.add_edge(1, 0);
+  cc.add_edge(0, 1);
+  EXPECT_EQ(cc.num_components(), 3u);
+}
+
+TEST(IncrementalCC, SeededFromGraphMatchesBatchLabels) {
+  const Graph g = gen_web_graph(3000, 13);
+  IncrementalCC cc(g);
+  EXPECT_EQ(cc.labels(), reference_components(g));
+}
+
+TEST(IncrementalCC, StreamingMatchesBatchOnFinalGraph) {
+  // Insert the edges of a random graph one by one; the final labeling must
+  // equal the batch computation on the whole graph.
+  const Graph g = gen_uniform_random(2000, 5000, 23);
+  IncrementalCC cc(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vertex_t u : g.neighbors(v)) {
+      if (u < v) cc.add_edge(v, u);
+    }
+  }
+  EXPECT_EQ(cc.labels(), reference_components(g));
+}
+
+TEST(IncrementalCC, ConcurrentInsertions) {
+  constexpr vertex_t kN = 30000;
+  IncrementalCC cc(kN);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t) {
+    workers.emplace_back([&cc, t] {
+      for (vertex_t v = static_cast<vertex_t>(t); v + 1 < kN; v += 6) {
+        cc.add_edge(v, v + 1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(cc.num_components(), 1u);
+  const auto labels = cc.labels();
+  for (vertex_t v = 0; v < kN; ++v) ASSERT_EQ(labels[v], 0u);
+}
+
+TEST(IncrementalCC, LabelsAreCanonicalMinima) {
+  IncrementalCC cc(10);
+  cc.add_edge(9, 7);
+  cc.add_edge(7, 5);
+  const auto labels = cc.labels();
+  EXPECT_EQ(labels[9], 5u);
+  EXPECT_EQ(labels[7], 5u);
+  EXPECT_EQ(labels[5], 5u);
+  EXPECT_EQ(labels[0], 0u);
+}
+
+}  // namespace
+}  // namespace ecl

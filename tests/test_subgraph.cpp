@@ -1,0 +1,82 @@
+// Tests for subgraph extraction.
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "graph/subgraph.h"
+
+namespace ecl {
+namespace {
+
+TEST(InducedSubgraph, KeepsOnlySelectedVerticesAndInternalEdges) {
+  // Path 0-1-2-3-4; keep {1,2,4}: edges (1,2) survive, (3,4) does not.
+  const Graph g = gen_path(5);
+  const std::vector<std::uint8_t> keep{0, 1, 1, 0, 1};
+  const Subgraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);  // the single undirected edge 1-2
+  EXPECT_EQ(sub.original_id, (std::vector<vertex_t>{1, 2, 4}));
+  EXPECT_EQ(sub.local_id[1], 0u);
+  EXPECT_EQ(sub.local_id[2], 1u);
+  EXPECT_EQ(sub.local_id[4], 2u);
+  EXPECT_EQ(sub.local_id[0], kInvalidVertex);
+  EXPECT_EQ(sub.graph.neighbors(0)[0], 1u);  // local 0 (=1) -> local 1 (=2)
+}
+
+TEST(InducedSubgraph, FullMaskIsIdentity) {
+  const Graph g = gen_kronecker(9, 8, 3);
+  const std::vector<std::uint8_t> keep(g.num_vertices(), 1);
+  const Subgraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_vertices(), g.num_vertices());
+  EXPECT_EQ(sub.graph.num_edges(), g.num_edges());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(sub.original_id[v], v);
+}
+
+TEST(InducedSubgraph, EmptyMask) {
+  const Graph g = gen_path(10);
+  const std::vector<std::uint8_t> keep(10, 0);
+  const Subgraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+  EXPECT_TRUE(sub.original_id.empty());
+}
+
+TEST(InducedSubgraph, RejectsWrongMaskSize) {
+  const Graph g = gen_path(10);
+  const std::vector<std::uint8_t> keep(5, 1);
+  EXPECT_THROW((void)induced_subgraph(g, keep), std::invalid_argument);
+}
+
+TEST(ExtractComponent, PullsOneComponent) {
+  const Graph g = gen_clique_forest(4, 5);  // components {0..4},{5..9},...
+  const auto labels = reference_components(g);
+  const Subgraph sub = extract_component(g, labels, 5);
+  EXPECT_EQ(sub.graph.num_vertices(), 5u);
+  EXPECT_EQ(sub.graph.num_edges(), 20u);  // K5
+  EXPECT_EQ(sub.original_id.front(), 5u);
+  EXPECT_EQ(count_components(sub.graph), 1u);
+}
+
+TEST(LargestComponent, FindsTheGiant) {
+  // One 600-vertex path + 40 singletons.
+  GraphBuilder b(640);
+  for (vertex_t v = 0; v + 1 < 600; ++v) b.add_edge(v, v + 1);
+  const Graph g = b.build();
+  const Subgraph sub = largest_component(g);
+  EXPECT_EQ(sub.graph.num_vertices(), 600u);
+  EXPECT_EQ(count_components(sub.graph), 1u);
+}
+
+TEST(LargestComponent, SubgraphIsConnectedOnRealisticInput) {
+  const Graph g = gen_web_graph(5000, 17);
+  const Subgraph sub = largest_component(g);
+  EXPECT_EQ(count_components(sub.graph), 1u);
+  EXPECT_GT(sub.graph.num_vertices(), g.num_vertices() / 2);
+  // Mapping round-trips.
+  for (vertex_t lv = 0; lv < sub.graph.num_vertices(); ++lv) {
+    EXPECT_EQ(sub.local_id[sub.original_id[lv]], lv);
+  }
+}
+
+}  // namespace
+}  // namespace ecl

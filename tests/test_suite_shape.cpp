@@ -1,0 +1,102 @@
+// Structural-signature tests for the benchmark suite: each scaled stand-in
+// must exhibit the property of its Table 2 original that drives CC
+// performance (degree ranges, skew, component structure, relative sizes).
+// Run at 1/4 scale so the whole suite builds quickly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "graph/stats.h"
+#include "graph/suite.h"
+
+namespace ecl {
+namespace {
+
+class SuiteShape : public ::testing::Test {
+ protected:
+  static const std::map<std::string, GraphStats>& stats() {
+    static const auto all = [] {
+      std::map<std::string, GraphStats> m;
+      for (const auto& name : suite_names()) {
+        m.emplace(name, compute_stats(make_suite_graph(name, 0.25), name));
+      }
+      return m;
+    }();
+    return all;
+  }
+};
+
+TEST_F(SuiteShape, GridIsOneComponentDegreeFour) {
+  const auto& s = stats().at("2d-2e20.sym");
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_NEAR(s.avg_degree, 4.0, 0.3);
+}
+
+TEST_F(SuiteShape, RoadMapsAreSparseGiants) {
+  for (const char* name : {"europe_osm", "USA-road-d.NY", "USA-road-d.USA"}) {
+    const auto& s = stats().at(name);
+    EXPECT_LT(s.avg_degree, 4.5) << name;   // paper: 2.1-2.8
+    EXPECT_LE(s.max_degree, 10u) << name;   // paper: 8-13
+  }
+}
+
+TEST_F(SuiteShape, KroneckerHasIsolatedVerticesAndHugeHubs) {
+  const auto& s = stats().at("kron_g500-logn21");
+  EXPECT_EQ(s.min_degree, 0u);                    // paper dmin = 0
+  EXPECT_GT(s.num_components, s.num_vertices / 20);  // paper: 553k CCs of 2.1M
+  EXPECT_GT(static_cast<double>(s.max_degree), 30 * s.avg_degree);  // paper: 213904 vs 86.8
+}
+
+TEST_F(SuiteShape, WebGraphsHaveIsolatedPagesAndHubs) {
+  for (const char* name : {"in-2004", "uk-2002"}) {
+    const auto& s = stats().at(name);
+    EXPECT_EQ(s.min_degree, 0u) << name;
+    EXPECT_GT(s.num_components, 10u) << name;
+    EXPECT_GT(static_cast<double>(s.max_degree), 3 * s.avg_degree) << name;
+  }
+}
+
+TEST_F(SuiteShape, CitationGraphsHaveManyComponents) {
+  EXPECT_GT(stats().at("cit-Patents").num_components, 100u);  // paper: 3627
+}
+
+TEST_F(SuiteShape, DelaunayIsPlanarScale) {
+  const auto& s = stats().at("delaunay_n24");
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_NEAR(s.avg_degree, 6.0, 1.0);  // triangulation
+  EXPECT_LT(s.max_degree, 30u);         // paper dmax = 26
+}
+
+TEST_F(SuiteShape, RandomGraphHasNarrowDegrees) {
+  const auto& s = stats().at("r4-2e23.sym");
+  EXPECT_NEAR(s.avg_degree, 8.0, 1.0);  // paper davg = 8.0
+  EXPECT_LT(s.max_degree, 40u);         // paper dmax = 26
+}
+
+TEST_F(SuiteShape, SizeOrderingMatchesPaper) {
+  // The largest/smallest graphs must stay the paper's (Table 2):
+  // europe_osm has the most vertices; uk-2002 among the most edges;
+  // internet and USA-road-d.NY among the smallest.
+  const auto& all = stats();
+  for (const auto& [name, s] : all) {
+    if (name != "europe_osm") {
+      EXPECT_GE(all.at("europe_osm").num_vertices, s.num_vertices) << name;
+    }
+    EXPECT_LE(all.at("internet").num_vertices, all.at("soc-LiveJournal1").num_vertices);
+    EXPECT_LE(all.at("USA-road-d.NY").num_vertices, all.at("USA-road-d.USA").num_vertices);
+  }
+  EXPECT_GT(all.at("uk-2002").num_edges, all.at("amazon0601").num_edges * 10);
+}
+
+TEST_F(SuiteShape, SocialGraphsAreSingleGiantWithSkew) {
+  for (const char* name : {"amazon0601", "as-skitter", "soc-LiveJournal1", "internet"}) {
+    const auto& s = stats().at(name);
+    EXPECT_EQ(s.num_components, 1u) << name;  // PA graphs connect by construction
+    EXPECT_GT(static_cast<double>(s.max_degree), 5 * s.avg_degree) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ecl

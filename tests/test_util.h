@@ -1,0 +1,65 @@
+// Shared fixtures/helpers for the test suite.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace ecl::testing {
+
+/// A named graph for value-parameterized correctness sweeps.
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+/// Small graphs with diverse structure: every CC implementation must label
+/// all of them correctly.
+inline std::vector<NamedGraph> correctness_graphs() {
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"empty", Graph()});
+  graphs.push_back({"single_vertex", gen_isolated(1)});
+  graphs.push_back({"isolated_100", gen_isolated(100)});
+  graphs.push_back({"path_1", gen_path(1)});
+  graphs.push_back({"path_2", gen_path(2)});
+  graphs.push_back({"path_1000", gen_path(1000)});
+  graphs.push_back({"star_500", gen_star(500)});
+  graphs.push_back({"complete_40", gen_complete(40)});
+  graphs.push_back({"cliques_30x7", gen_clique_forest(30, 7)});
+  graphs.push_back({"grid_40x25", gen_grid2d(40, 25)});
+  graphs.push_back({"grid_1xN", gen_grid2d(1, 777)});
+  graphs.push_back({"delaunay_30x30", gen_delaunay_like(30, 30)});
+  graphs.push_back({"random_sparse", gen_uniform_random(2000, 1500, 1)});
+  graphs.push_back({"random_dense", gen_uniform_random(500, 4000, 2)});
+  graphs.push_back({"rmat_small", gen_rmat(10, 8, RmatParams{}, 3)});
+  graphs.push_back({"kron_small", gen_kronecker(10, 16, 4)});
+  graphs.push_back({"road_small", gen_road_network(3000, 5)});
+  graphs.push_back({"pref_attach", gen_preferential_attachment(2000, 4, 6)});
+  graphs.push_back({"citation", gen_citation(2000, 5, 0.6, 7)});
+  graphs.push_back({"web_small", gen_web_graph(3000, 8)});
+  graphs.push_back({"small_world", gen_small_world(1500, 3, 0.1, 9)});
+  // Two components of very different shape glued into one graph.
+  {
+    GraphBuilder b(1200);
+    for (vertex_t v = 0; v + 1 < 600; ++v) b.add_edge(v, v + 1);  // long path
+    for (vertex_t v = 601; v < 1200; ++v) b.add_edge(600, v);     // star
+    graphs.push_back({"path_plus_star", b.build()});
+  }
+  return graphs;
+}
+
+/// A few larger graphs for stress tests.
+inline std::vector<NamedGraph> stress_graphs() {
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"grid_300x300", gen_grid2d(300, 300)});
+  graphs.push_back({"kron_64k", gen_kronecker(16, 16, 42)});
+  graphs.push_back({"road_100k", gen_road_network(100000, 43)});
+  graphs.push_back({"random_100k", gen_uniform_random(100000, 400000, 44)});
+  return graphs;
+}
+
+}  // namespace ecl::testing
