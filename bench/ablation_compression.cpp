@@ -22,8 +22,10 @@ int main(int argc, char** argv) {
     const double plain_mb = static_cast<double>(g.memory_bytes()) / (1 << 20);
     const double comp_mb = static_cast<double>(cg.memory_bytes()) / (1 << 20);
 
-    const double plain_ms = harness::measure_ms(cfg, [&] { (void)ecl_cc_serial(g); });
-    const double comp_ms = harness::measure_ms(cfg, [&] { (void)ecl_cc_serial(cg); });
+    const double plain_ms =
+        harness::measure_cell(cfg, name, "plain", [&] { (void)ecl_cc_serial(g); });
+    const double comp_ms =
+        harness::measure_cell(cfg, name, "compressed", [&] { (void)ecl_cc_serial(cg); });
 
     t.add_row({name, Table::fmt(plain_mb, 2), Table::fmt(comp_mb, 2),
                Table::fmt(comp_mb / plain_mb, 2), Table::fmt(plain_ms, 2),

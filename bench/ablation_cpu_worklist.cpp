@@ -21,9 +21,10 @@ int main(int argc, char** argv) {
   t.set_header({"Graph", "single loop ms", "bucketed ms", "ratio"});
 
   for (const auto& [name, g] : harness::load_suite(cfg)) {
-    const double plain = harness::measure_ms(cfg, [&] { (void)ecl_cc_omp(g); });
-    const double bucketed =
-        harness::measure_ms(cfg, [&] { (void)ecl_cc_omp_bucketed(g); });
+    const double plain =
+        harness::measure_cell(cfg, name, "single loop", [&] { (void)ecl_cc_omp(g); });
+    const double bucketed = harness::measure_cell(cfg, name, "bucketed",
+                                                  [&] { (void)ecl_cc_omp_bucketed(g); });
     t.add_row({name, Table::fmt(plain, 2), Table::fmt(bucketed, 2),
                Table::fmt(bucketed / plain, 2)});
   }

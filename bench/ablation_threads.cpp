@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
     for (const int tc : thread_counts) {
       EclOptions opts;
       opts.num_threads = tc;
-      const double ms = harness::measure_ms(cfg, [&] { (void)ecl_cc_omp(g, opts); });
+      const double ms = harness::measure_cell(cfg, name, std::to_string(tc) + " thr",
+                                              [&] { (void)ecl_cc_omp(g, opts); });
       row.push_back(Table::fmt(ms, 2));
     }
     t.add_row(std::move(row));

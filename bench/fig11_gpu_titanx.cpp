@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       ratios.record(name, code.name, result.time_ms);
+      harness::record_cell(cfg, name, code.name, {result.time_ms});
     }
   }
   harness::emit(ratios.normalized(), cfg, "fig11_gpu_titanx");

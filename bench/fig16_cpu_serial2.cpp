@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     for (const auto& code : baselines::serial_cpu_codes()) {
       const auto runner = code.prepare(g, 1);
       std::vector<vertex_t> labels;
-      const double ms = harness::measure_ms(cfg, [&] { labels = runner(); });
+      const double ms = harness::measure_cell(cfg, name, code.name, [&] { labels = runner(); });
       if (!same_partition(labels, reference)) {
         std::fprintf(stderr, "VERIFICATION FAILED: %s on %s\n", code.name.c_str(),
                      name.c_str());

@@ -45,14 +45,14 @@ int main(int argc, char** argv) {
       const std::string label = code.name + " (par CPU)";
       note(label);
       const auto runner = code.prepare(g, threads);
-      const double ms = harness::measure_ms(cfg, [&] { (void)runner(); });
+      const double ms = harness::measure_cell(cfg, name, label, [&] { (void)runner(); });
       ratios[label].push_back(ms / anchor);
     }
     for (const auto& code : baselines::serial_cpu_codes()) {
       const std::string label = code.name + " (ser CPU)";
       note(label);
       const auto runner = code.prepare(g, 1);
-      const double ms = harness::measure_ms(cfg, [&] { (void)runner(); });
+      const double ms = harness::measure_cell(cfg, name, label, [&] { (void)runner(); });
       ratios[label].push_back(ms / anchor);
     }
   }

@@ -1,0 +1,71 @@
+// Overhead check for the ecl::obs record sites (docs/OBSERVABILITY.md).
+//
+// This translation unit is compiled into TWO executables: obs_overhead_on
+// (default build, metrics + span record sites live) and obs_overhead_off
+// (compiled with ECL_OBS_DISABLED, every record site a no-op). Both compile
+// src/core/ecl_cc.cpp directly instead of linking ecl_core so the flag
+// reaches the algorithm's record sites; the obs classes themselves are
+// flag-invariant, so mixing with the normal ecl_obs library is ODR-safe.
+//
+// scripts/check_obs_overhead.py runs both binaries and asserts that the
+// instrumented build's ECL-CC median stays within the acceptance threshold
+// of the disabled build, and that both produce identical label checksums.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/ecl_cc.h"
+#include "graph/suite.h"
+#include "harness/bench_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  const auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.5);
+  const auto names = small_suite_names();
+
+  // FNV-1a over every label of every graph: any behavioural difference
+  // between the instrumented and compiled-out builds shows up here.
+  std::uint64_t checksum = 14695981039346656037ULL;
+  std::vector<double> totals;  // per-rep total ms across the whole small suite
+
+  std::vector<Graph> graphs;
+  for (const auto& name : names) graphs.push_back(make_suite_graph(name, cfg.scale));
+
+  // Timed with the serial code (ECL-CCser): it exercises the same record
+  // sites (phase spans, ComputeStats find/hook accounting, registry flush)
+  // as the OpenMP port but without scheduler jitter, which would otherwise
+  // swamp a 5% threshold. The OpenMP port is still run once per rep so its
+  // record sites execute and its labels enter the checksum.
+  const int reps = std::max(3, cfg.reps);
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    for (const auto& g : graphs) {
+      const auto labels = ecl_cc_serial(g);
+      if (r == 0) {
+        for (const vertex_t l : labels) {
+          checksum = (checksum ^ l) * 1099511628211ULL;
+        }
+      }
+    }
+    totals.push_back(t.millis());
+    for (const auto& g : graphs) {
+      const auto labels = ecl_cc_omp(g);
+      if (r == 0) {
+        for (const vertex_t l : labels) {
+          checksum = (checksum ^ l) * 1099511628211ULL;
+        }
+      }
+    }
+  }
+
+#if defined(ECL_OBS_DISABLED)
+  std::printf("obs=disabled\n");
+#else
+  std::printf("obs=enabled\n");
+#endif
+  std::printf("median_ms=%.6f\n", median(totals));
+  std::printf("labels_checksum=%016llx\n", static_cast<unsigned long long>(checksum));
+  return 0;
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Check that the ecl::obs record sites cost <= 5% on the ECL-CC hot path.
+
+Runs the obs_overhead_on (instrumented default build) and obs_overhead_off
+(ECL_OBS_DISABLED) binaries alternately several times, takes the best median
+for each, and fails if the instrumented build is more than 5% (plus a small
+absolute epsilon for sub-millisecond noise) slower than the disabled build.
+Also asserts both builds produce identical label checksums — the record
+sites must not change the algorithm's output.
+
+Usage: check_obs_overhead.py <obs_overhead_on> <obs_overhead_off> [extra args...]
+"""
+import subprocess
+import sys
+
+ROUNDS = 4
+REL_THRESHOLD = 1.05
+ABS_EPSILON_MS = 2.0  # absolute slack for sub-millisecond medians / noisy CI
+
+
+def run(binary, extra):
+    out = subprocess.run([binary] + extra, check=True, capture_output=True,
+                         text=True).stdout
+    fields = dict(line.split("=", 1) for line in out.splitlines() if "=" in line)
+    return float(fields["median_ms"]), fields["labels_checksum"]
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    on_bin, off_bin, extra = sys.argv[1], sys.argv[2], sys.argv[3:]
+
+    on_ms, off_ms = [], []
+    on_sum, off_sum = None, None
+    for _ in range(ROUNDS):
+        # Alternate so slow drift (thermal, noisy neighbours) hits both evenly.
+        ms, on_sum = run(on_bin, extra)
+        on_ms.append(ms)
+        ms, off_sum = run(off_bin, extra)
+        off_ms.append(ms)
+
+    best_on, best_off = min(on_ms), min(off_ms)
+    print(f"instrumented: best median {best_on:.3f} ms  (all: "
+          f"{', '.join(f'{m:.3f}' for m in on_ms)})")
+    print(f"disabled:     best median {best_off:.3f} ms  (all: "
+          f"{', '.join(f'{m:.3f}' for m in off_ms)})")
+
+    if on_sum != off_sum:
+        print(f"FAIL: label checksums differ (on={on_sum}, off={off_sum}) — "
+              "record sites changed the algorithm's output")
+        return 1
+    print(f"label checksums identical ({on_sum})")
+
+    limit = best_off * REL_THRESHOLD + ABS_EPSILON_MS
+    if best_on > limit:
+        print(f"FAIL: instrumented {best_on:.3f} ms exceeds limit {limit:.3f} ms "
+              f"({REL_THRESHOLD:.2f}x disabled + {ABS_EPSILON_MS} ms)")
+        return 1
+    overhead = (best_on / best_off - 1.0) * 100.0 if best_off > 0 else 0.0
+    print(f"OK: overhead {overhead:+.1f}% within limit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,8 @@ mkdir -p bench_results
     if [ "$(basename "$b")" = micro_dsu ]; then
       "$b"
     else
-      "$b" --csv-dir=bench_results "$@"
+      "$b" --csv-dir=bench_results \
+           --report="bench_results/$(basename "$b")_report.json" "$@"
     fi
   done
 } 2>&1 | tee bench_output.txt

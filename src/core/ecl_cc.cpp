@@ -4,6 +4,8 @@
 
 #include "common/timer.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ecl {
 
@@ -12,6 +14,24 @@ namespace {
 int resolve_threads(int requested) {
   return requested > 0 ? requested : omp_get_max_threads();
 }
+
+#if !defined(ECL_OBS_DISABLED)
+/// Folds one thread's find/hook statistics into the process-wide counters —
+/// a few striped-atomic adds per thread per phase, so the per-operation
+/// accounting stays thread-local plain arithmetic.
+void flush_find_stats(const ComputeStats& rec) {
+  if (rec.num_finds != 0) {
+    ECL_OBS_COUNTER_ADD("ecl.find.finds", rec.num_finds);
+    ECL_OBS_COUNTER_ADD("ecl.find.hops", rec.total_length);
+  }
+  if (rec.hooks_performed != 0) {
+    ECL_OBS_COUNTER_ADD("ecl.hook.hooks_performed", rec.hooks_performed);
+  }
+  if (rec.cas_retries != 0) {
+    ECL_OBS_COUNTER_ADD("ecl.hook.cas_retries", rec.cas_retries);
+  }
+}
+#endif
 
 }  // namespace
 
@@ -22,20 +42,40 @@ std::vector<vertex_t> ecl_cc_serial(const Graph& g, const EclOptions& opts,
   SerialParentOps ops(parent.data());
   Timer timer;
 
-  for (vertex_t v = 0; v < n; ++v) {
-    parent[v] = detail::initial_parent(g, opts.init, v);
+  {
+    ECL_OBS_SPAN(span, "ecl.phase.init", "ecl-cc");
+    span.arg("vertices", n);
+    for (vertex_t v = 0; v < n; ++v) {
+      parent[v] = detail::initial_parent(g, opts.init, v);
+    }
   }
   if (times != nullptr) times->init_ms = timer.millis();
 
   timer.reset();
-  for (vertex_t v = 0; v < n; ++v) {
-    detail::compute_vertex(g, opts.jump, v, ops);
+  {
+    ECL_OBS_SPAN(span, "ecl.phase.compute", "ecl-cc");
+    span.arg("vertices", n);
+#if !defined(ECL_OBS_DISABLED)
+    ComputeStats rec;
+    for (vertex_t v = 0; v < n; ++v) {
+      detail::compute_vertex(g, opts.jump, v, ops, &rec);
+    }
+    flush_find_stats(rec);
+#else
+    for (vertex_t v = 0; v < n; ++v) {
+      detail::compute_vertex(g, opts.jump, v, ops);
+    }
+#endif
   }
   if (times != nullptr) times->compute_ms = timer.millis();
 
   timer.reset();
-  for (vertex_t v = 0; v < n; ++v) {
-    detail::finalize_vertex(opts.finalize, v, ops);
+  {
+    ECL_OBS_SPAN(span, "ecl.phase.finalize", "ecl-cc");
+    span.arg("vertices", n);
+    for (vertex_t v = 0; v < n; ++v) {
+      detail::finalize_vertex(opts.finalize, v, ops);
+    }
   }
   if (times != nullptr) times->finalize_ms = timer.millis();
 
@@ -52,23 +92,47 @@ std::vector<vertex_t> ecl_cc_omp(const Graph& g, const EclOptions& opts,
 
   // Each phase parallelizes its outermost vertex loop with a guided
   // schedule, matching the paper's OpenMP port (§3).
+  {
+    ECL_OBS_SPAN(span, "ecl.phase.init", "ecl-cc");
+    span.arg("vertices", n);
 #pragma omp parallel for schedule(guided) num_threads(threads)
-  for (vertex_t v = 0; v < n; ++v) {
-    parent[v] = detail::initial_parent(g, opts.init, v);
+    for (vertex_t v = 0; v < n; ++v) {
+      parent[v] = detail::initial_parent(g, opts.init, v);
+    }
   }
   if (times != nullptr) times->init_ms = timer.millis();
 
   timer.reset();
+  {
+    ECL_OBS_SPAN(span, "ecl.phase.compute", "ecl-cc");
+    span.arg("vertices", n);
+#if !defined(ECL_OBS_DISABLED)
+#pragma omp parallel num_threads(threads)
+    {
+      ComputeStats rec;  // thread-local: plain increments per find/hook
+#pragma omp for schedule(guided)
+      for (vertex_t v = 0; v < n; ++v) {
+        detail::compute_vertex(g, opts.jump, v, ops, &rec);
+      }
+      flush_find_stats(rec);
+    }
+#else
 #pragma omp parallel for schedule(guided) num_threads(threads)
-  for (vertex_t v = 0; v < n; ++v) {
-    detail::compute_vertex(g, opts.jump, v, ops);
+    for (vertex_t v = 0; v < n; ++v) {
+      detail::compute_vertex(g, opts.jump, v, ops);
+    }
+#endif
   }
   if (times != nullptr) times->compute_ms = timer.millis();
 
   timer.reset();
+  {
+    ECL_OBS_SPAN(span, "ecl.phase.finalize", "ecl-cc");
+    span.arg("vertices", n);
 #pragma omp parallel for schedule(guided) num_threads(threads)
-  for (vertex_t v = 0; v < n; ++v) {
-    detail::finalize_vertex(opts.finalize, v, ops);
+    for (vertex_t v = 0; v < n; ++v) {
+      detail::finalize_vertex(opts.finalize, v, ops);
+    }
   }
   if (times != nullptr) times->finalize_ms = timer.millis();
 
@@ -85,50 +149,58 @@ std::vector<vertex_t> ecl_cc_omp_bucketed(const Graph& g, const EclOptions& opts
   AtomicParentOps ops(parent.data());
   Timer timer;
 
+  {
+    ECL_OBS_SPAN(span, "ecl.phase.init", "ecl-cc");
+    span.arg("vertices", n);
 #pragma omp parallel for schedule(guided) num_threads(threads)
-  for (vertex_t v = 0; v < n; ++v) {
-    parent[v] = detail::initial_parent(g, opts.init, v);
+    for (vertex_t v = 0; v < n; ++v) {
+      parent[v] = detail::initial_parent(g, opts.init, v);
+    }
   }
   if (times != nullptr) times->init_ms = timer.millis();
 
   timer.reset();
-  // Bucket the vertices by degree (the CPU analogue of the GPU pipeline's
-  // double-sided worklist fill).
-  std::vector<vertex_t> mid;
-  std::vector<vertex_t> high;
-  for (vertex_t v = 0; v < n; ++v) {
-    const vertex_t d = g.degree(v);
-    if (d > kWarpLimit) {
-      high.push_back(v);
-    } else if (d > kThreadLimit) {
-      mid.push_back(v);
+  {
+    ECL_OBS_SPAN(span, "ecl.phase.compute", "ecl-cc");
+    span.arg("vertices", n);
+    // Bucket the vertices by degree (the CPU analogue of the GPU pipeline's
+    // double-sided worklist fill).
+    std::vector<vertex_t> mid;
+    std::vector<vertex_t> high;
+    for (vertex_t v = 0; v < n; ++v) {
+      const vertex_t d = g.degree(v);
+      if (d > kWarpLimit) {
+        high.push_back(v);
+      } else if (d > kThreadLimit) {
+        mid.push_back(v);
+      }
     }
-  }
 
-  // Low-degree vertices: fine-grained static chunks (cheap, uniform work).
+    // Low-degree vertices: fine-grained static chunks (cheap, uniform work).
 #pragma omp parallel for schedule(static, 512) num_threads(threads)
-  for (vertex_t v = 0; v < n; ++v) {
-    if (g.degree(v) <= kThreadLimit) {
-      detail::compute_vertex(g, opts.jump, v, ops);
+    for (vertex_t v = 0; v < n; ++v) {
+      if (g.degree(v) <= kThreadLimit) {
+        detail::compute_vertex(g, opts.jump, v, ops);
+      }
     }
-  }
-  // Mid-degree vertices: dynamic scheduling absorbs the variance.
+    // Mid-degree vertices: dynamic scheduling absorbs the variance.
 #pragma omp parallel for schedule(dynamic, 16) num_threads(threads)
-  for (std::size_t i = 0; i < mid.size(); ++i) {
-    detail::compute_vertex(g, opts.jump, mid[i], ops);
-  }
-  // High-degree vertices: one at a time, edges parallelized across threads
-  // (the thread-block-granularity analogue).
-  for (const vertex_t v : high) {
-    const vertex_t v_rep_seed = find_repres(opts.jump, v, ops);
+    for (std::size_t i = 0; i < mid.size(); ++i) {
+      detail::compute_vertex(g, opts.jump, mid[i], ops);
+    }
+    // High-degree vertices: one at a time, edges parallelized across threads
+    // (the thread-block-granularity analogue).
+    for (const vertex_t v : high) {
+      const vertex_t v_rep_seed = find_repres(opts.jump, v, ops);
 #pragma omp parallel num_threads(threads)
-    {
-      vertex_t v_rep = v_rep_seed;
-      const auto nbrs = g.neighbors(v);
+      {
+        vertex_t v_rep = v_rep_seed;
+        const auto nbrs = g.neighbors(v);
 #pragma omp for schedule(static)
-      for (std::size_t j = 0; j < nbrs.size(); ++j) {
-        if (v > nbrs[j]) {
-          v_rep = process_edge(opts.jump, v_rep, nbrs[j], ops);
+        for (std::size_t j = 0; j < nbrs.size(); ++j) {
+          if (v > nbrs[j]) {
+            v_rep = process_edge(opts.jump, v_rep, nbrs[j], ops);
+          }
         }
       }
     }
@@ -136,9 +208,13 @@ std::vector<vertex_t> ecl_cc_omp_bucketed(const Graph& g, const EclOptions& opts
   if (times != nullptr) times->compute_ms = timer.millis();
 
   timer.reset();
+  {
+    ECL_OBS_SPAN(span, "ecl.phase.finalize", "ecl-cc");
+    span.arg("vertices", n);
 #pragma omp parallel for schedule(guided) num_threads(threads)
-  for (vertex_t v = 0; v < n; ++v) {
-    detail::finalize_vertex(opts.finalize, v, ops);
+    for (vertex_t v = 0; v < n; ++v) {
+      detail::finalize_vertex(opts.finalize, v, ops);
+    }
   }
   if (times != nullptr) times->finalize_ms = timer.millis();
   return parent;
@@ -154,13 +230,29 @@ PathLengthReport ecl_cc_path_lengths(const Graph& g, const EclOptions& opts) {
   // Only the computation phase is instrumented, as in the paper's Table 4
   // ("path lengths during the CC computation").
   PathLengthRecorder rec;
+#if !defined(ECL_OBS_DISABLED)
+  // The general metrics layer is the source of truth: every find's path
+  // length lands in the registry histogram (full distribution available to
+  // --metrics and run reports), and the Table 4 aggregates below are read
+  // back from it.
+  obs::Histogram& hist =
+      obs::registry().histogram("ecl.find.path_length", obs::Histogram::pow2_bounds(20));
+  hist.reset();
+  rec.histogram = &hist;
+#endif
   for (vertex_t v = 0; v < n; ++v) {
     detail::compute_vertex(g, opts.jump, v, ops, &rec);
   }
   PathLengthReport report;
+#if !defined(ECL_OBS_DISABLED)
+  report.average_length = hist.average();
+  report.maximum_length = hist.max();
+  report.num_finds = hist.count();
+#else
   report.average_length = rec.average();
   report.maximum_length = rec.max_length;
   report.num_finds = rec.num_finds;
+#endif
   return report;
 }
 

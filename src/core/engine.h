@@ -38,9 +38,9 @@ vertex_t initial_parent(const GraphT& g, InitPolicy policy, vertex_t v) {
 /// Computation phase for one vertex: process each of v's edges exactly once
 /// (only the v > u direction), hooking u's representative with v's running
 /// representative.
-template <typename GraphT, ParentOps Ops>
+template <typename GraphT, ParentOps Ops, typename Rec = PathLengthRecorder>
 void compute_vertex(const GraphT& g, JumpPolicy jump, vertex_t v, Ops ops,
-                    PathLengthRecorder* rec = nullptr) {
+                    Rec* rec = nullptr) {
   vertex_t v_rep = find_repres(jump, v, ops, rec);
   for (const vertex_t u : g.neighbors(v)) {
     if (v > u) {

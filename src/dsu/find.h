@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "dsu/parent_ops.h"
+#include "obs/metrics.h"
 
 namespace ecl {
 
@@ -20,23 +21,36 @@ enum class JumpPolicy {
   kIntermediate = 4,  // Jump4: path halving (ECL-CC's choice)
 };
 
-/// Accumulates path lengths observed by find operations (paper Table 4).
+/// Accumulates path lengths observed by find operations (paper Table 4) and
+/// hook statistics from the union side (obs counters `ecl.hook.*`).
 /// Not thread-safe; parallel callers keep one per thread and merge().
+/// Plain fields by design: the per-operation cost in the compute hot loop is
+/// a register increment, and the owner folds the totals into the (atomic)
+/// obs registry once per thread per phase.
+/// Optionally forwards every per-find length to an obs::Histogram so the
+/// full distribution — not just avg/max — reaches the metrics registry
+/// (ecl_cc_path_lengths attaches "ecl.find.path_length").
 struct PathLengthRecorder {
   std::uint64_t total_length = 0;
   std::uint64_t num_finds = 0;
   std::uint64_t max_length = 0;
+  std::uint64_t hooks_performed = 0;    // successful CAS hooks
+  std::uint64_t cas_retries = 0;        // CAS attempts lost to another thread
+  obs::Histogram* histogram = nullptr;  // optional distribution sink
 
   void record(std::uint64_t length) {
     total_length += length;
     ++num_finds;
     if (length > max_length) max_length = length;
+    if (histogram != nullptr) histogram->record(length);
   }
 
   void merge(const PathLengthRecorder& other) {
     total_length += other.total_length;
     num_finds += other.num_finds;
     if (other.max_length > max_length) max_length = other.max_length;
+    hooks_performed += other.hooks_performed;
+    cas_retries += other.cas_retries;
   }
 
   [[nodiscard]] double average() const {
@@ -45,11 +59,28 @@ struct PathLengthRecorder {
   }
 };
 
+/// Minimal statistics sink for the production compute path: same duck-typed
+/// interface as PathLengthRecorder (the find/hook templates accept either),
+/// but record() is two register adds — no max tracking, no histogram branch —
+/// so the always-on obs counters stay within the ≤5% overhead budget that
+/// scripts/check_obs_overhead.py enforces.
+struct ComputeStats {
+  std::uint64_t total_length = 0;
+  std::uint64_t num_finds = 0;
+  std::uint64_t hooks_performed = 0;
+  std::uint64_t cas_retries = 0;
+
+  void record(std::uint64_t length) {
+    total_length += length;
+    ++num_finds;
+  }
+};
+
 /// Jump4 — intermediate pointer jumping (path halving; paper Fig. 5).
 /// One traversal; every visited element is made to skip its successor,
 /// halving the path for everyone while heading to the representative.
-template <ParentOps Ops>
-vertex_t find_intermediate(vertex_t v, Ops ops, PathLengthRecorder* rec = nullptr) {
+template <ParentOps Ops, typename Rec = PathLengthRecorder>
+vertex_t find_intermediate(vertex_t v, Ops ops, Rec* rec = nullptr) {
   std::uint64_t steps = 0;
   vertex_t par = ops.load(v);
   if (par != v) {
@@ -68,8 +99,8 @@ vertex_t find_intermediate(vertex_t v, Ops ops, PathLengthRecorder* rec = nullpt
 
 /// Jump2 — single pointer jumping: walk to the representative, then point
 /// only the start vertex at it.
-template <ParentOps Ops>
-vertex_t find_single(vertex_t v, Ops ops, PathLengthRecorder* rec = nullptr) {
+template <ParentOps Ops, typename Rec = PathLengthRecorder>
+vertex_t find_single(vertex_t v, Ops ops, Rec* rec = nullptr) {
   std::uint64_t steps = 0;
   vertex_t root = ops.load(v);
   vertex_t next;
@@ -83,8 +114,8 @@ vertex_t find_single(vertex_t v, Ops ops, PathLengthRecorder* rec = nullptr) {
 }
 
 /// Jump3 — no pointer jumping: traverse only.
-template <ParentOps Ops>
-vertex_t find_none(vertex_t v, Ops ops, PathLengthRecorder* rec = nullptr) {
+template <ParentOps Ops, typename Rec = PathLengthRecorder>
+vertex_t find_none(vertex_t v, Ops ops, Rec* rec = nullptr) {
   std::uint64_t steps = 0;
   vertex_t root = ops.load(v);
   vertex_t next;
@@ -98,8 +129,8 @@ vertex_t find_none(vertex_t v, Ops ops, PathLengthRecorder* rec = nullptr) {
 
 /// Jump1 — multiple pointer jumping: first pass finds the representative,
 /// second pass re-points every element on the path at it.
-template <ParentOps Ops>
-vertex_t find_multiple(vertex_t v, Ops ops, PathLengthRecorder* rec = nullptr) {
+template <ParentOps Ops, typename Rec = PathLengthRecorder>
+vertex_t find_multiple(vertex_t v, Ops ops, Rec* rec = nullptr) {
   std::uint64_t steps = 0;
   vertex_t root = ops.load(v);
   vertex_t next;
@@ -118,9 +149,8 @@ vertex_t find_multiple(vertex_t v, Ops ops, PathLengthRecorder* rec = nullptr) {
 }
 
 /// Runtime dispatch over the four variants.
-template <ParentOps Ops>
-vertex_t find_repres(JumpPolicy policy, vertex_t v, Ops ops,
-                     PathLengthRecorder* rec = nullptr) {
+template <ParentOps Ops, typename Rec = PathLengthRecorder>
+vertex_t find_repres(JumpPolicy policy, vertex_t v, Ops ops, Rec* rec = nullptr) {
   switch (policy) {
     case JumpPolicy::kMultiple:
       return find_multiple(v, ops, rec);

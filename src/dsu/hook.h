@@ -17,8 +17,15 @@ namespace ecl {
 /// Returns the common representative after the hook (the smaller of the two
 /// final representatives), which callers keep as the running `v_rep` for the
 /// remaining edges of the same vertex.
-template <ParentOps Ops>
-vertex_t hook_representatives(vertex_t v_rep, vertex_t u_rep, Ops ops) {
+///
+/// When a PathLengthRecorder is supplied, successful hooks and CAS retries
+/// are tallied into its plain thread-local fields (the caller flushes them
+/// to the `ecl.hook.*` registry counters once per thread per phase); atomic
+/// or static-initialized counters here would wreck the compute loop's
+/// inlining and codegen.
+template <ParentOps Ops, typename Rec = PathLengthRecorder>
+vertex_t hook_representatives(vertex_t v_rep, vertex_t u_rep, Ops ops,
+                              Rec* rec = nullptr) {
   bool repeat;
   do {
     repeat = false;
@@ -28,11 +35,17 @@ vertex_t hook_representatives(vertex_t v_rep, vertex_t u_rep, Ops ops) {
         if ((ret = ops.cas(u_rep, u_rep, v_rep)) != u_rep) {
           u_rep = ret;
           repeat = true;
+          if (rec != nullptr) ++rec->cas_retries;
+        } else {
+          if (rec != nullptr) ++rec->hooks_performed;
         }
       } else {
         if ((ret = ops.cas(v_rep, v_rep, u_rep)) != v_rep) {
           v_rep = ret;
           repeat = true;
+          if (rec != nullptr) ++rec->cas_retries;
+        } else {
+          if (rec != nullptr) ++rec->hooks_performed;
         }
       }
     }
@@ -43,11 +56,11 @@ vertex_t hook_representatives(vertex_t v_rep, vertex_t u_rep, Ops ops) {
 /// Full edge processing for edge (v, u) given v's current representative:
 /// find u's representative with the configured pointer-jumping flavour, then
 /// hook. Callers must already have filtered to one direction (v > u).
-template <ParentOps Ops>
+template <ParentOps Ops, typename Rec = PathLengthRecorder>
 vertex_t process_edge(JumpPolicy jump, vertex_t v_rep, vertex_t u, Ops ops,
-                      PathLengthRecorder* rec = nullptr) {
+                      Rec* rec = nullptr) {
   const vertex_t u_rep = find_repres(jump, u, ops, rec);
-  return hook_representatives(v_rep, u_rep, ops);
+  return hook_representatives(v_rep, u_rep, ops, rec);
 }
 
 }  // namespace ecl

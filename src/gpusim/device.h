@@ -26,6 +26,8 @@
 
 #include "gpusim/cache.h"
 #include "gpusim/spec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ecl::gpusim {
 
@@ -83,9 +85,26 @@ struct KernelStats {
   std::string name;
   std::uint32_t num_blocks = 0;
   std::uint32_t block_size = 0;
-  std::uint64_t max_sm_cycles = 0;  // critical-path SM
-  double time_ms = 0.0;             // modeled runtime incl. launch overhead
-  MemoryCounters memory;            // accesses issued by this launch
+  std::uint64_t max_sm_cycles = 0;       // critical-path SM
+  std::uint64_t divergence_cycles = 0;   // SIMT idle-issue-slot charge (all SMs)
+  double time_ms = 0.0;                  // modeled runtime incl. launch overhead
+  MemoryCounters memory;                 // accesses issued by this launch
+
+  /// Fraction of issued loads/stores served by the L1 (0 when none issued).
+  [[nodiscard]] double l1_hit_rate() const {
+    const std::uint64_t accesses = memory.reads + memory.writes;
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(memory.l1_hits) /
+                               static_cast<double>(accesses);
+  }
+
+  /// Fraction of L2 accesses (L1 misses, write-backs, atomics) that hit.
+  [[nodiscard]] double l2_hit_rate() const {
+    const std::uint64_t accesses = memory.l2_reads + memory.l2_writes;
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(memory.l2_hits) /
+                               static_cast<double>(accesses);
+  }
 };
 
 /// A typed allocation in simulated device memory. Accesses must go through
@@ -159,8 +178,11 @@ class Device {
                      Body&& body) {
     assert(block_size > 0 && block_size <= spec_.max_block_size);
     assert(num_blocks > 0);
+    ECL_OBS_SPAN(span, name, "gpusim.kernel");
+    ECL_OBS_COUNTER_ADD("gpusim.kernel.launches", 1);
     const MemoryCounters before = memory_->counters();
     const std::vector<std::uint64_t> cycles_before = sm_cycles_;
+    std::uint64_t divergence_cycles = 0;
 
     const std::uint32_t warp = spec_.warp_size;
     for (std::uint32_t b = 0; b < num_blocks; ++b) {
@@ -186,7 +208,10 @@ class Device {
           // nominal per-operation cost. (Charging by *work count*, not by
           // per-lane latency, keeps coalesced misses — where one lane pays
           // the line fill and its warp-mates hit — from being multiplied.)
-          sm_cycles_[sm] += (warp_op_max * lanes - warp_op_sum) * spec_.l1_hit_cycles;
+          const std::uint64_t stall =
+              (warp_op_max * lanes - warp_op_sum) * spec_.l1_hit_cycles;
+          sm_cycles_[sm] += stall;
+          divergence_cycles += stall;
         }
       }
     }
@@ -195,6 +220,7 @@ class Device {
     stats.name = std::move(name);
     stats.num_blocks = num_blocks;
     stats.block_size = block_size;
+    stats.divergence_cycles = divergence_cycles;
     for (std::uint32_t s = 0; s < spec_.num_sms; ++s) {
       stats.max_sm_cycles = std::max(stats.max_sm_cycles, sm_cycles_[s] - cycles_before[s]);
     }
@@ -202,6 +228,17 @@ class Device {
                         (spec_.clock_ghz * 1e9 * spec_.overlap_factor) * 1e3 +
                     spec_.launch_overhead_us * 1e-3;
     stats.memory = memory_->counters().delta_since(before);
+    if (span.active()) {
+      span.arg("blocks", stats.num_blocks);
+      span.arg("block_size", stats.block_size);
+      span.arg("modeled_ms", stats.time_ms);
+      span.arg("l1_hit_rate", stats.l1_hit_rate());
+      span.arg("l2_hit_rate", stats.l2_hit_rate());
+      span.arg("l2_reads", stats.memory.l2_reads);
+      span.arg("l2_writes", stats.memory.l2_writes);
+      span.arg("atomics", stats.memory.atomics);
+      span.arg("divergence_stall_cycles", stats.divergence_cycles);
+    }
     history_.push_back(stats);
     total_time_ms_ += stats.time_ms;
     return stats;

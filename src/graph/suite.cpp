@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ecl {
 
@@ -90,7 +92,17 @@ std::vector<std::string> suite_names() {
 
 Graph make_suite_graph(std::string_view name, double scale) {
   for (const auto& e : paper_suite()) {
-    if (e.name == name) return e.make(scale);
+    if (e.name != name) continue;
+    ECL_OBS_SPAN(span, name, "graph.build");
+    ECL_OBS_COUNTER_ADD("graph.suite.builds", 1);
+    Graph g = e.make(scale);
+    if (span.active()) {
+      span.arg("family", e.family);
+      span.arg("scale", scale);
+      span.arg("vertices", g.num_vertices());
+      span.arg("edges", g.num_edges());
+    }
+    return g;
   }
   throw std::invalid_argument("unknown suite graph: " + std::string(name));
 }

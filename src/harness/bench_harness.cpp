@@ -17,6 +17,7 @@ BenchConfig parse_config(int argc, const char* const* argv, double default_scale
   cfg.scale = args.get_double("scale", default_scale);
   cfg.reps = static_cast<int>(args.get_int("reps", 3));
   cfg.csv_dir = args.get("csv-dir", "");
+  cfg.report_path = args.get("report", "");
   if (args.has("small")) {
     cfg.graph_filter = small_suite_names();
   }
@@ -51,17 +52,62 @@ std::vector<std::pair<std::string, Graph>> load_suite(const BenchConfig& cfg) {
 void emit(const Table& table, const BenchConfig& cfg, const std::string& csv_name) {
   table.write_markdown(std::cout);
   if (!cfg.csv_dir.empty()) {
-    std::filesystem::create_directories(cfg.csv_dir);
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.csv_dir, ec);
+    if (ec) {
+      std::cerr << "warning: could not create " << cfg.csv_dir << ": " << ec.message()
+                << "\n";
+    }
     const std::string path = cfg.csv_dir + "/" + csv_name + ".csv";
     if (!table.save_csv(path)) {
       std::cerr << "warning: could not write " << path << "\n";
     }
   }
+  if (!cfg.report_path.empty()) {
+    // Rewrite the accumulated report on every emit: the first emit names the
+    // bench, later emits refresh the cells and metrics snapshot, and the
+    // file on disk is valid even if the bench stops between tables.
+    report().set_bench_name(csv_name);
+    report().set_config(cfg.scale, cfg.reps);
+    if (!report().write_file(cfg.report_path)) {
+      std::cerr << "warning: could not write " << cfg.report_path << "\n";
+    }
+  }
+}
+
+Measurement measure(const BenchConfig& cfg, const std::function<void()>& fn) {
+  const int reps = std::max(1, cfg.reps);
+  Measurement m;
+  m.rep_ms.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    m.rep_ms.push_back(t.millis());
+  }
+  m.min_ms = minimum(m.rep_ms);
+  m.median_ms = median(m.rep_ms);
+  m.max_ms = maximum(m.rep_ms);
+  return m;
 }
 
 double measure_ms(const BenchConfig& cfg, const std::function<void()>& fn) {
-  return median_runtime_ms(fn, std::max(1, cfg.reps));
+  return measure(cfg, fn).median_ms;
 }
+
+double measure_cell(const BenchConfig& cfg, const std::string& graph,
+                    const std::string& code, const std::function<void()>& fn) {
+  Measurement m = measure(cfg, fn);
+  record_cell(cfg, graph, code, std::move(m.rep_ms));
+  return m.median_ms;
+}
+
+void record_cell(const BenchConfig& cfg, const std::string& graph, const std::string& code,
+                 std::vector<double> rep_ms) {
+  if (cfg.report_path.empty()) return;
+  report().add_cell(graph, code, std::move(rep_ms));
+}
+
+obs::RunReport& report() { return obs::run_report(); }
 
 RatioTable::RatioTable(std::string caption, std::string reference_name,
                        std::vector<std::string> code_names)

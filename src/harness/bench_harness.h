@@ -1,7 +1,7 @@
 // Shared infrastructure for the reproduction benchmarks (bench/): suite
 // loading, the paper's measurement protocol (median of 3), normalized
-// "higher is worse" ratio tables with geometric-mean footers, and CSV
-// output.
+// "higher is worse" ratio tables with geometric-mean footers, CSV output,
+// and machine-readable JSON run reports (--report, see obs/report.h).
 #pragma once
 
 #include <functional>
@@ -13,20 +13,24 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "graph/graph.h"
+#include "obs/report.h"
 
 namespace ecl::harness {
 
 /// Configuration shared by all bench binaries, parsed from the common flags
-///   --scale=<f>    vertex-count multiplier on the suite defaults
-///   --reps=<n>     repetitions per measurement (median reported)
-///   --graphs=a,b   run only the named suite graphs
-///   --small        run the reduced 5-graph suite
-///   --csv-dir=<d>  also write each table as CSV into <d>
+///   --scale=<f>       vertex-count multiplier on the suite defaults
+///   --reps=<n>        repetitions per measurement (median reported)
+///   --graphs=a,b      run only the named suite graphs
+///   --small           run the reduced 5-graph suite
+///   --csv-dir=<d>     also write each table as CSV into <d> (created if missing)
+///   --report=<f.json> write a machine-readable run report (raw per-rep
+///                     times, metrics snapshot, host metadata) to <f.json>
 struct BenchConfig {
   double scale = 1.0;
   int reps = 3;
   std::vector<std::string> graph_filter;  // empty = full suite
   std::string csv_dir;
+  std::string report_path;
 };
 
 /// Parses the common flags; `default_scale` lets expensive benches default
@@ -38,11 +42,41 @@ struct BenchConfig {
 [[nodiscard]] std::vector<std::pair<std::string, Graph>> load_suite(const BenchConfig& cfg);
 
 /// Prints `table` as markdown to stdout and, if csv_dir is set, writes
-/// <csv_dir>/<csv_name>.csv.
+/// <csv_dir>/<csv_name>.csv (creating csv_dir if missing). If report_path is
+/// set, (re)writes the accumulated run report there as well, so the report
+/// on disk is complete after every emitted table.
 void emit(const Table& table, const BenchConfig& cfg, const std::string& csv_name);
+
+/// One timed cell: every repetition's wall-clock time plus the summary
+/// statistics the tables and reports need.
+struct Measurement {
+  std::vector<double> rep_ms;  // raw per-repetition times, in run order
+  double min_ms = 0.0;
+  double median_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Runs `fn` cfg.reps times (>= 1) and returns all repetition times with
+/// min/median/max, so callers can report run-to-run spread instead of
+/// discarding everything but the median.
+[[nodiscard]] Measurement measure(const BenchConfig& cfg, const std::function<void()>& fn);
 
 /// Median-of-reps wall-clock milliseconds of `fn` (the paper's protocol).
 [[nodiscard]] double measure_ms(const BenchConfig& cfg, const std::function<void()>& fn);
+
+/// measure() + record the raw repetition times into the run report under
+/// (graph, code) when --report is active. Returns the median, which is what
+/// the paper's tables use.
+double measure_cell(const BenchConfig& cfg, const std::string& graph,
+                    const std::string& code, const std::function<void()>& fn);
+
+/// Records externally obtained per-rep times (e.g. the simulator's modeled
+/// kernel times, which are not wall-clock measured) into the run report.
+void record_cell(const BenchConfig& cfg, const std::string& graph, const std::string& code,
+                 std::vector<double> rep_ms);
+
+/// The process-wide run report the helpers above record into.
+[[nodiscard]] obs::RunReport& report();
 
 /// Builder for the paper's normalized figures: rows are graphs, columns are
 /// codes, cells are runtime relative to the reference code (> 1 = slower,

@@ -1,0 +1,181 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace ecl::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point tracer_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::string render_number(double v) {
+  char buf[32];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  return buf;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+double Tracer::now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   tracer_epoch())
+      .count();
+}
+
+bool Tracer::start(const std::string& path) {
+  if (path.empty()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = path;
+  events_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void Tracer::record(TraceEvent ev) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void Tracer::write(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("otherData");
+  w.begin_object();
+  w.key("tool");
+  w.value("ecl::obs");
+  w.end_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& ev : events_) {
+    w.begin_object();
+    w.key("name");
+    w.value(ev.name);
+    w.key("cat");
+    w.value(ev.category);
+    w.key("ph");
+    w.value("X");
+    w.key("ts");
+    w.value(ev.ts_us);
+    w.key("dur");
+    w.value(ev.dur_us);
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(ev.tid));
+    if (!ev.args.empty()) {
+      w.key("args");
+      w.begin_object();
+      for (const auto& [key, json] : ev.args) {
+        w.key(key);
+        w.raw_value(json);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+bool Tracer::stop() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = path_;
+  }
+  if (path.empty()) return false;
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    path_.clear();
+  }
+  return os.good();
+}
+
+Span::Span(std::string_view name, std::string_view category) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  start_us_ = Tracer::now_us();
+  event_.name.assign(name);
+  event_.category.assign(category);
+  event_.tid = static_cast<std::uint32_t>(detail::thread_index());
+}
+
+Span::~Span() {
+  if (!active_) return;
+  event_.ts_us = start_us_;
+  event_.dur_us = Tracer::now_us() - start_us_;
+  Tracer::instance().record(std::move(event_));
+}
+
+void Span::arg(std::string_view key, double v) {
+  if (!active_) return;
+  event_.args.emplace_back(std::string(key), render_number(v));
+}
+
+void Span::arg(std::string_view key, std::uint64_t v) {
+  if (!active_) return;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  event_.args.emplace_back(std::string(key), buf);
+}
+
+void Span::arg(std::string_view key, std::int64_t v) {
+  if (!active_) return;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  event_.args.emplace_back(std::string(key), buf);
+}
+
+void Span::arg(std::string_view key, std::string_view s) {
+  if (!active_) return;
+  std::ostringstream os;
+  JsonWriter::write_escaped(os, s);
+  event_.args.emplace_back(std::string(key), os.str());
+}
+
+}  // namespace ecl::obs

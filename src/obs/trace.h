@@ -1,0 +1,125 @@
+// ecl::obs tracing — scoped spans emitted as Chrome trace_event JSON.
+//
+// The output loads directly into chrome://tracing or https://ui.perfetto.dev:
+// a top-level object with a "traceEvents" array of complete ("ph":"X")
+// events, one per span, each carrying wall-clock timestamp/duration in
+// microseconds plus free-form args (for gpusim kernels: modeled time, cache
+// hit rates, atomic counts, divergence-stall cycles).
+//
+// The tracer is a process-wide singleton that is OFF by default. When off, a
+// Span costs one relaxed atomic load; when ECL_OBS_DISABLED is defined the
+// ECL_OBS_SPAN macro compiles record sites out entirely (the classes keep a
+// single flag-independent definition — see metrics.h for the rationale).
+//
+// Only complete events are emitted, so traces are balanced by construction:
+// every span has a begin (ts) and an end (ts + dur), and RAII guarantees the
+// end exists even on early returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ecl::obs {
+
+/// One finished span, ready for serialization.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;   // start, relative to tracer start
+  double dur_us = 0.0;  // duration
+  std::uint32_t tid = 0;
+  // Pre-rendered (key, JSON literal) pairs, e.g. ("l1_hit_rate", "0.93").
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Process-wide trace collector. start() enables span recording; stop()
+/// writes the JSON file (creating parent directories) and disables again.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Begins collecting; spans created while enabled are buffered in memory.
+  /// Returns false (and stays disabled) if `path` is empty.
+  bool start(const std::string& path);
+
+  /// Writes the buffered events to the path given to start() and disables
+  /// collection. Returns false if the file could not be written.
+  bool stop();
+
+  /// Serializes the buffered events to `os` without disabling. Exposed for
+  /// tests and in-memory consumers.
+  void write(std::ostream& os) const;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the tracer epoch (process start).
+  [[nodiscard]] static double now_us() noexcept;
+
+  /// Appends one finished event (no-op when disabled).
+  void record(TraceEvent ev);
+
+  /// Number of buffered events.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Drops all buffered events (does not change enabled state).
+  void clear();
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::string path_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: records a complete trace event covering its lifetime. Inactive
+/// (and nearly free) when the tracer is disabled at construction time.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view category = "ecl");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Attaches an annotation to the span (shown under "args" in Perfetto).
+  void arg(std::string_view key, double v);
+  void arg(std::string_view key, std::uint64_t v);
+  void arg(std::string_view key, std::int64_t v);
+  void arg(std::string_view key, unsigned v) { arg(key, static_cast<std::uint64_t>(v)); }
+  void arg(std::string_view key, int v) { arg(key, static_cast<std::int64_t>(v)); }
+  void arg(std::string_view key, std::string_view s);
+
+ private:
+  bool active_ = false;
+  double start_us_ = 0.0;
+  TraceEvent event_;
+};
+
+/// Drop-in stand-in for Span when record sites are compiled out.
+struct NullSpan {
+  [[nodiscard]] static constexpr bool active() noexcept { return false; }
+  template <typename K, typename V>
+  void arg(K&&, V&&) const noexcept {}
+};
+
+}  // namespace ecl::obs
+
+#if defined(ECL_OBS_DISABLED)
+// The span variable keeps its name so `var.arg(...)` / `var.active()` still
+// compile (as no-ops) in gated builds.
+#define ECL_OBS_SPAN(var, ...) ::ecl::obs::NullSpan var
+#else
+#define ECL_OBS_SPAN(var, ...) ::ecl::obs::Span var(__VA_ARGS__)
+#endif

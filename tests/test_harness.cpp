@@ -1,9 +1,13 @@
-// Tests for the benchmark harness: config parsing, suite filtering, and the
-// normalized ratio tables that drive the figure reproductions.
+// Tests for the benchmark harness: config parsing, suite filtering, the
+// normalized ratio tables that drive the figure reproductions, and the
+// measurement/run-report plumbing.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "common/table.h"
 #include "harness/bench_harness.h"
 
 namespace ecl::harness {
@@ -62,6 +66,83 @@ TEST(MeasureMs, UsesAtLeastOneRep) {
   int calls = 0;
   (void)measure_ms(cfg, [&] { ++calls; });
   EXPECT_EQ(calls, 1);
+}
+
+TEST(ParseConfig, ReportFlag) {
+  const char* argv[] = {"bench", "--report=/tmp/r.json"};
+  const auto cfg = parse_config(2, argv);
+  EXPECT_EQ(cfg.report_path, "/tmp/r.json");
+  const char* argv2[] = {"bench"};
+  EXPECT_TRUE(parse_config(1, argv2).report_path.empty());
+}
+
+TEST(Measure, ExposesMinMedianMaxOverAllReps) {
+  BenchConfig cfg;
+  cfg.reps = 5;
+  int calls = 0;
+  const Measurement m = measure(cfg, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);
+  ASSERT_EQ(m.rep_ms.size(), 5u);
+  EXPECT_LE(m.min_ms, m.median_ms);
+  EXPECT_LE(m.median_ms, m.max_ms);
+  for (const double ms : m.rep_ms) {
+    EXPECT_GE(ms, m.min_ms);
+    EXPECT_LE(ms, m.max_ms);
+  }
+}
+
+TEST(MeasureCell, RecordsIntoReportWhenRequested) {
+  report().clear();
+  BenchConfig cfg;
+  cfg.reps = 2;
+  cfg.report_path = "unused-but-non-empty.json";
+  (void)measure_cell(cfg, "graphX", "codeY", [] {});
+  EXPECT_EQ(report().cell_count(), 1u);
+
+  // Without a report path, nothing accumulates.
+  report().clear();
+  cfg.report_path.clear();
+  (void)measure_cell(cfg, "graphX", "codeY", [] {});
+  record_cell(cfg, "graphX", "codeZ", {1.0});
+  EXPECT_EQ(report().cell_count(), 0u);
+}
+
+TEST(Emit, CreatesMissingCsvAndReportDirectories) {
+  const auto base =
+      std::filesystem::temp_directory_path() / "ecl_harness_emit_test";
+  std::filesystem::remove_all(base);
+
+  report().clear();
+  BenchConfig cfg;
+  cfg.csv_dir = (base / "csv" / "deep").string();
+  cfg.report_path = (base / "reports" / "deep" / "run.json").string();
+  record_cell(cfg, "g", "c", {1.0, 2.0});
+
+  Table t("caption");
+  t.set_header({"Graph", "ms"});
+  t.add_row({"g", "1.0"});
+  std::ostringstream discard;
+  {
+    // emit() writes the table to stdout; keep the test output clean.
+    testing::internal::CaptureStdout();
+    emit(t, cfg, "emit_test");
+    testing::internal::GetCapturedStdout();
+  }
+  (void)discard;
+
+  EXPECT_TRUE(std::filesystem::exists(cfg.csv_dir + "/emit_test.csv"));
+  ASSERT_TRUE(std::filesystem::exists(cfg.report_path));
+  std::ifstream in(cfg.report_path);
+  std::stringstream file;
+  file << in.rdbuf();
+  const std::string json = file.str();
+  EXPECT_NE(json.find("\"bench\":\"emit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"graph\":\"g\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"c\""), std::string::npos);
+  EXPECT_NE(json.find("\"rep_ms\":[1,2]"), std::string::npos);
+
+  report().clear();
+  std::filesystem::remove_all(base);
 }
 
 TEST(RatioTable, NormalizesToReference) {

@@ -1,0 +1,516 @@
+// Tests for the ecl::obs observability layer: metrics registry semantics
+// (including under OpenMP threads), trace well-formedness, run reports, and
+// the invariant that instrumentation never changes algorithm results.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ecl_cc.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace ecl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON well-formedness checker, so the trace and
+// report tests validate real syntax instead of grepping for substrings.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control char
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          if (pos_ + 4 >= s_.size()) return false;
+          for (int i = 1; i <= 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) return false;
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(e) == std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+std::string temp_path(const std::string& leaf) {
+  return (std::filesystem::temp_directory_path() / leaf).string();
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriter, NestedStructureIsValid) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("a");
+  w.value(std::uint64_t{42});
+  w.key("b");
+  w.begin_array();
+  w.value(1.5);
+  w.value(std::string_view("x"));
+  w.value(true);
+  w.null();
+  w.begin_object();
+  w.end_object();
+  w.end_array();
+  w.key("c");
+  w.value(std::int64_t{-7});
+  w.end_object();
+  const std::string out = os.str();
+  EXPECT_TRUE(JsonChecker(out).valid()) << out;
+  EXPECT_EQ(out, R"({"a":42,"b":[1.5,"x",true,null,{}],"c":-7})");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("k\"ey");
+  w.value(std::string_view("a\\b\n\t\x01z"));
+  w.end_object();
+  const std::string out = os.str();
+  EXPECT_TRUE(JsonChecker(out).valid()) << out;
+  EXPECT_NE(out.find(R"(\n)"), std::string::npos);
+  EXPECT_NE(out.find(R"(\u0001)"), std::string::npos);
+  EXPECT_NE(out.find(R"(k\"ey)"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(ObsCounter, AddAndReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, ConcurrentAddsAreExact) {
+  obs::Counter c;
+  constexpr int kPerThread = 100000;
+  const int threads = std::max(2, omp_get_max_threads());
+#pragma omp parallel num_threads(threads)
+  {
+#pragma omp for
+    for (int i = 0; i < threads * kPerThread; ++i) {
+      c.add();
+    }
+  }
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(threads) * kPerThread);
+}
+
+TEST(ObsGauge, SetOverwrites) {
+  obs::Gauge g;
+  g.set(1.5);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogram, BucketSemantics) {
+  obs::Histogram h({1, 2, 4});
+  // Bucket i counts samples <= bounds[i] not claimed by an earlier bucket;
+  // the implicit overflow bucket (UINT64_MAX) catches the rest.
+  for (const std::uint64_t s : {0u, 1u, 2u, 3u, 4u, 5u, 100u}) h.record(s);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 4 + 5 + 100);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.average(), 115.0 / 7.0);
+  EXPECT_EQ(h.bounds(), (std::vector<std::uint64_t>{1, 2, 4, ~std::uint64_t{0}}));
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{2, 1, 2, 2}));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(ObsHistogram, Pow2Bounds) {
+  EXPECT_EQ(obs::Histogram::pow2_bounds(4), (std::vector<std::uint64_t>{1, 2, 4, 8}));
+}
+
+TEST(ObsHistogram, ConcurrentRecordsPreserveCountSumMax) {
+  obs::Histogram h(obs::Histogram::pow2_bounds(10));
+  constexpr int kSamples = 200000;
+#pragma omp parallel for
+  for (int i = 0; i < kSamples; ++i) {
+    h.record(static_cast<std::uint64_t>(i % 1000));
+  }
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kSamples));
+  EXPECT_EQ(h.max(), 999u);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(ObsRegistry, LookupsReturnSameInstance) {
+  obs::Counter& a = obs::registry().counter("test.obs.same_instance");
+  obs::Counter& b = obs::registry().counter("test.obs.same_instance");
+  EXPECT_EQ(&a, &b);
+  obs::Histogram& h1 = obs::registry().histogram("test.obs.hist", {1, 2});
+  // Bounds of a later lookup are ignored; the first registration wins.
+  obs::Histogram& h2 = obs::registry().histogram("test.obs.hist", {7});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<std::uint64_t>{1, 2, ~std::uint64_t{0}}));
+}
+
+TEST(ObsRegistry, SnapshotIsSortedAndTyped) {
+  obs::registry().counter("test.snap.counter").add(3);
+  obs::registry().gauge("test.snap.gauge").set(2.5);
+  obs::registry().histogram("test.snap.hist", {10}).record(4);
+  const auto snap = obs::registry().snapshot();
+  ASSERT_GE(snap.size(), 3u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const auto& m : snap) {
+    if (m.name == "test.snap.counter") {
+      saw_counter = true;
+      EXPECT_EQ(m.kind, obs::MetricSnapshot::Kind::kCounter);
+      EXPECT_GE(m.count, 3u);
+    } else if (m.name == "test.snap.gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(m.kind, obs::MetricSnapshot::Kind::kGauge);
+      EXPECT_DOUBLE_EQ(m.value, 2.5);
+    } else if (m.name == "test.snap.hist") {
+      saw_hist = true;
+      EXPECT_EQ(m.kind, obs::MetricSnapshot::Kind::kHistogram);
+      ASSERT_FALSE(m.buckets.empty());
+      EXPECT_EQ(m.buckets.back().first, ~std::uint64_t{0});
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
+TEST(ObsMacros, RecordThroughRegistry) {
+  obs::registry().counter("test.macro.counter").reset();
+  for (int i = 0; i < 5; ++i) {
+    ECL_OBS_COUNTER_ADD("test.macro.counter", 2);
+  }
+  ECL_OBS_GAUGE_SET("test.macro.gauge", 7.0);
+#if defined(ECL_OBS_DISABLED)
+  EXPECT_EQ(obs::registry().counter("test.macro.counter").value(), 0u);
+#else
+  EXPECT_EQ(obs::registry().counter("test.macro.counter").value(), 10u);
+  EXPECT_DOUBLE_EQ(obs::registry().gauge("test.macro.gauge").value(), 7.0);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(ObsTrace, SpansAreInactiveWhenTracerDisabled) {
+  ASSERT_FALSE(obs::Tracer::instance().enabled());
+  const std::size_t before = obs::Tracer::instance().event_count();
+  {
+    obs::Span span("test.disabled", "test");
+    EXPECT_FALSE(span.active());
+    span.arg("k", 1.0);  // must be a safe no-op
+  }
+  EXPECT_EQ(obs::Tracer::instance().event_count(), before);
+}
+
+TEST(ObsTrace, WritesWellFormedBalancedTrace) {
+  auto& tracer = obs::Tracer::instance();
+  const std::string path = temp_path("ecl_obs_test_trace.json");
+  ASSERT_TRUE(tracer.start(path));
+  {
+    obs::Span outer("test.outer", "test-cat");
+    outer.arg("graph", std::string_view("needs \"escaping\""));
+    outer.arg("n", std::uint64_t{42});
+    {
+      obs::Span inner("test.inner", "test-cat");
+      inner.arg("rate", 0.5);
+    }
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+
+  std::ostringstream os;
+  tracer.write(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("test.outer"), std::string::npos);
+  EXPECT_NE(json.find("test.inner"), std::string::npos);
+  // Complete events only: every event carries both a ts and a dur, so the
+  // trace is balanced by construction.
+  std::size_t ts = 0, dur = 0;
+  for (std::size_t p = json.find("\"ts\""); p != std::string::npos;
+       p = json.find("\"ts\"", p + 1)) {
+    ++ts;
+  }
+  for (std::size_t p = json.find("\"dur\""); p != std::string::npos;
+       p = json.find("\"dur\"", p + 1)) {
+    ++dur;
+  }
+  EXPECT_EQ(ts, 2u);
+  EXPECT_EQ(dur, 2u);
+
+  ASSERT_TRUE(tracer.stop());
+  EXPECT_FALSE(tracer.enabled());
+  std::ifstream in(path);
+  std::stringstream file;
+  file << in.rdbuf();
+  EXPECT_TRUE(JsonChecker(file.str()).valid());
+  std::filesystem::remove(path);
+}
+
+TEST(ObsTrace, StopCreatesParentDirectories) {
+  auto& tracer = obs::Tracer::instance();
+  const std::string dir = temp_path("ecl_obs_trace_nested");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(tracer.start(dir + "/deep/trace.json"));
+  { obs::Span span("test.nested", "test"); }
+  ASSERT_TRUE(tracer.stop());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/deep/trace.json"));
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation must not change results.
+
+TEST(ObsInstrumentation, LabelsUnchangedByRecorders) {
+  const std::uint64_t seeds[] = {1, 7, 42};
+  for (const std::uint64_t seed : seeds) {
+    const Graph g = gen_rmat(10, 8, RmatParams{}, seed);
+    const auto serial = ecl_cc_serial(g);
+    const auto omp = ecl_cc_omp(g);
+    // The path-length run attaches the full recorder + registry histogram to
+    // the same algorithm; its labels must match the production runs'.
+    (void)ecl_cc_path_lengths(g);
+    const auto serial_again = ecl_cc_serial(g);
+    EXPECT_EQ(serial, serial_again) << "seed " << seed;
+    EXPECT_EQ(serial, omp) << "seed " << seed;
+  }
+}
+
+TEST(ObsInstrumentation, PathLengthReportMatchesManualRecorder) {
+  const Graph g = gen_small_world(2000, 6, 0.1, 99);
+  const EclOptions opts;
+
+  // Legacy-style manual computation: init + instrumented compute phase.
+  std::vector<vertex_t> parent(g.num_vertices());
+  SerialParentOps ops(parent.data());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    parent[v] = detail::initial_parent(g, opts.init, v);
+  }
+  PathLengthRecorder rec;
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    detail::compute_vertex(g, opts.jump, v, ops, &rec);
+  }
+
+  const PathLengthReport report = ecl_cc_path_lengths(g, opts);
+  EXPECT_EQ(report.num_finds, rec.num_finds);
+  EXPECT_EQ(report.maximum_length, rec.max_length);
+  EXPECT_DOUBLE_EQ(report.average_length, rec.average());
+}
+
+TEST(ObsInstrumentation, ComputeCountersPopulated) {
+  obs::registry().reset();
+  const Graph g = gen_kronecker(12, 12, 5);
+  (void)ecl_cc_omp(g);
+#if defined(ECL_OBS_DISABLED)
+  EXPECT_EQ(obs::registry().counter("ecl.find.finds").value(), 0u);
+#else
+  // One find per vertex plus one per processed (v > u) edge.
+  EXPECT_GT(obs::registry().counter("ecl.find.finds").value(), g.num_vertices());
+  // Kronecker graphs leave many vertices without a smaller neighbor, so the
+  // compute phase must perform actual hooks.
+  EXPECT_GT(obs::registry().counter("ecl.hook.hooks_performed").value(), 0u);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Run reports
+
+TEST(ObsReport, WriteIsValidJsonWithCellsAndMetrics) {
+  obs::RunReport report;
+  report.set_bench_name("unit_test_bench");
+  report.set_config(0.5, 3);
+  report.add_cell("graphA", "code1", {1.0, 2.0, 3.0});
+  report.add_cell("graphA", "code2", {2.5});
+  EXPECT_EQ(report.cell_count(), 2u);
+
+  obs::registry().counter("test.report.counter").add(11);
+  std::ostringstream os;
+  report.write(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("unit_test_bench"), std::string::npos);
+  EXPECT_NE(json.find("graphA"), std::string::npos);
+  EXPECT_NE(json.find("\"min_ms\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"median_ms\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"max_ms\":3"), std::string::npos);
+  EXPECT_NE(json.find("test.report.counter"), std::string::npos);
+
+  report.clear();
+  EXPECT_EQ(report.cell_count(), 0u);
+}
+
+TEST(ObsReport, WriteFileCreatesParentDirectories) {
+  obs::RunReport report;
+  report.set_bench_name("nested_dir_bench");
+  report.add_cell("g", "c", {1.0});
+  const std::string dir = temp_path("ecl_obs_report_nested");
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/a/b/report.json";
+  ASSERT_TRUE(report.write_file(path));
+  std::ifstream in(path);
+  std::stringstream file;
+  file << in.rdbuf();
+  EXPECT_TRUE(JsonChecker(file.str()).valid());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ecl

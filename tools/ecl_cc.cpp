@@ -2,11 +2,19 @@
 //
 //   $ ecl_cc <graph-file> [--algo=serial|omp|gpu] [--threads=N]
 //            [--out=labels.txt] [--verify] [--stats]
+//            [--trace=<file.json>] [--metrics]
 //
 // Loads a graph in any supported format (SNAP edge list, DIMACS .gr,
 // MatrixMarket .mtx, ECL binary .eclg — dispatched by extension), computes
 // its connected components, and reports component statistics. Mirrors the
 // original ECL-CC distribution's standalone executable.
+//
+// Observability (docs/OBSERVABILITY.md): --trace writes a Chrome
+// trace_event JSON (open in chrome://tracing or ui.perfetto.dev) covering
+// the three ECL-CC phases (CPU algos) or every simulated kernel launch with
+// its cache-counter annotations (gpu). --metrics prints the metrics
+// registry (hooks, CAS retries, find hops, path-length histogram) after the
+// run.
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -18,6 +26,48 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "gpusim/gpu_cc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+void print_metrics() {
+  using ecl::obs::MetricSnapshot;
+  std::printf("\nmetrics:\n");
+  const auto snapshot = ecl::obs::registry().snapshot();
+  if (snapshot.empty()) {
+    std::printf("  (none recorded — built with ECL_OBS_DISABLED?)\n");
+    return;
+  }
+  for (const auto& m : snapshot) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        std::printf("  %-28s counter    %llu\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.count));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        std::printf("  %-28s gauge      %g\n", m.name.c_str(), m.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        std::printf("  %-28s histogram  count=%llu avg=%.2f max=%llu\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.count), m.value,
+                    static_cast<unsigned long long>(m.max));
+        for (const auto& [le, count] : m.buckets) {
+          if (count == 0) continue;
+          if (le == ~std::uint64_t{0}) {
+            std::printf("    le=+inf %llu\n", static_cast<unsigned long long>(count));
+          } else {
+            std::printf("    le=%-6llu %llu\n", static_cast<unsigned long long>(le),
+                        static_cast<unsigned long long>(count));
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ecl;
@@ -25,8 +75,15 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) {
     std::fprintf(stderr,
                  "usage: ecl_cc <graph-file> [--algo=serial|omp|gpu] [--threads=N]\n"
-                 "              [--out=labels.txt] [--verify] [--stats]\n");
+                 "              [--out=labels.txt] [--verify] [--stats]\n"
+                 "              [--trace=<file.json>] [--metrics]\n");
     return 2;
+  }
+
+  const std::string trace_path = args.get("trace", "");
+  const bool want_metrics = args.has("metrics");
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().start(trace_path);
   }
 
   Graph g;
@@ -91,6 +148,18 @@ int main(int argc, char** argv) {
       os << v << ' ' << labels[v] << '\n';
     }
     std::printf("labels written to %s\n", out.c_str());
+  }
+
+  if (want_metrics) {
+    print_metrics();
+  }
+  if (!trace_path.empty()) {
+    if (obs::Tracer::instance().stop()) {
+      std::printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write trace to %s\n", trace_path.c_str());
+    }
   }
   return 0;
 }
