@@ -1,0 +1,256 @@
+// svc_loadgen — closed- and open-loop load generator for a running ecl_ccd.
+//
+// Each worker thread opens its own connection and issues a randomized mix of
+// connectivity queries and edge-batch ingests against the daemon. Per-op
+// latency is recorded into obs histograms, so the standard --report= JSON
+// carries p50/p95/p99 tail latency alongside throughput.
+//
+//   $ ecl_ccd --vertices=100000 --unix=/tmp/ecl.sock &
+//   $ svc_loadgen --unix=/tmp/ecl.sock --threads=4 --duration-ms=2000 [...]
+//                 --report=loadgen.json
+//
+// Flags:
+//   --unix=PATH | --host=A --port=P   daemon endpoint
+//   --threads=N          worker threads / connections (default 4)
+//   --duration-ms=N      run length per worker (default 2000)
+//   --rate=R             open loop: target ops/sec per worker (0 = closed
+//                        loop, i.e. back-to-back requests; default 0)
+//   --ingest-frac=F      fraction of ops that are ingests (default 0.25)
+//   --batch=N            edges per ingest batch (default 64)
+//   --mode=snapshot|fresh  read mode for queries (default snapshot)
+//   --seed=N             RNG seed (default 1)
+//   --report=FILE.json   obs run report (throughput + latency percentiles)
+//   --shutdown           send a graceful-shutdown request when done
+//
+// Exit codes: 0 success, 1 connect/usage failure, 2 every op failed.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "svc/client.h"
+
+namespace {
+
+using namespace ecl;
+
+struct WorkerResult {
+  std::uint64_t queries = 0;
+  std::uint64_t ingests = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t edges_sent = 0;
+  double wall_ms = 0.0;
+};
+
+struct LoadConfig {
+  std::string unix_path;
+  std::string host;
+  int port = 0;
+  int threads = 4;
+  int duration_ms = 2000;
+  double rate = 0.0;  // ops/sec per worker; 0 = closed loop
+  double ingest_frac = 0.25;
+  std::size_t batch = 64;
+  svc::ReadMode mode = svc::ReadMode::kSnapshot;
+  std::uint64_t seed = 1;
+  vertex_t num_vertices = 0;
+};
+
+std::unique_ptr<svc::Client> connect(const LoadConfig& cfg, std::string* err) {
+  return cfg.unix_path.empty() ? svc::Client::connect_tcp(cfg.host, cfg.port, err)
+                               : svc::Client::connect_unix(cfg.unix_path, err);
+}
+
+void worker(const LoadConfig& cfg, int tid, obs::Histogram& query_us,
+            obs::Histogram& ingest_us, WorkerResult& out) {
+  std::string err;
+  auto client = connect(cfg, &err);
+  if (!client) {
+    std::fprintf(stderr, "worker %d: connect failed: %s\n", tid, err.c_str());
+    out.errors = 1;
+    return;
+  }
+
+  std::mt19937_64 rng(cfg.seed * 1315423911u + static_cast<std::uint64_t>(tid));
+  std::uniform_int_distribution<vertex_t> pick_vertex(0, cfg.num_vertices - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<Edge> batch;
+  batch.reserve(cfg.batch);
+
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  const auto deadline = start + std::chrono::milliseconds(cfg.duration_ms);
+  // Open loop: fire at fixed wall-clock slots so service time does not gate
+  // the offered load (queueing shows up as latency, not lost throughput).
+  const auto period =
+      cfg.rate > 0.0 ? std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double>(1.0 / cfg.rate))
+                     : clock::duration::zero();
+  auto next_slot = start;
+
+  Timer wall;
+  while (clock::now() < deadline) {
+    if (cfg.rate > 0.0) {
+      std::this_thread::sleep_until(next_slot);
+      next_slot += period;
+    }
+    if (coin(rng) < cfg.ingest_frac) {
+      batch.clear();
+      for (std::size_t i = 0; i < cfg.batch; ++i) {
+        batch.emplace_back(pick_vertex(rng), pick_vertex(rng));
+      }
+      Timer t;
+      const svc::Status st = client->ingest(batch);
+      ingest_us.record(static_cast<std::uint64_t>(t.micros()));
+      if (st == svc::Status::kOk) {
+        ++out.ingests;
+        out.edges_sent += batch.size();
+      } else if (st == svc::Status::kShed) {
+        ++out.shed;
+      } else {
+        ++out.errors;
+        if (st == svc::Status::kError) break;  // transport gone
+      }
+    } else {
+      svc::Status st = svc::Status::kOk;
+      Timer t;
+      (void)client->connected(pick_vertex(rng), pick_vertex(rng), cfg.mode, &st);
+      query_us.record(static_cast<std::uint64_t>(t.micros()));
+      if (st == svc::Status::kOk) {
+        ++out.queries;
+      } else {
+        ++out.errors;
+        if (st == svc::Status::kError) break;
+      }
+    }
+  }
+  out.wall_ms = wall.millis();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+
+  LoadConfig cfg;
+  cfg.unix_path = args.get("unix", "");
+  cfg.host = args.get("host", "127.0.0.1");
+  cfg.port = static_cast<int>(args.get_int("port", 0));
+  cfg.threads = static_cast<int>(args.get_int("threads", 4));
+  cfg.duration_ms = static_cast<int>(args.get_int("duration-ms", 2000));
+  cfg.rate = args.get_double("rate", 0.0);
+  cfg.ingest_frac = args.get_double("ingest-frac", 0.25);
+  cfg.batch = static_cast<std::size_t>(args.get_int("batch", 64));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string mode_name = args.get("mode", "snapshot");
+  cfg.mode = mode_name == "fresh" ? svc::ReadMode::kFresh : svc::ReadMode::kSnapshot;
+  const std::string report_file = args.get("report", "");
+  const bool send_shutdown = args.has("shutdown");
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", flag.c_str());
+  }
+  if (cfg.unix_path.empty() && cfg.port == 0) {
+    std::fprintf(stderr, "error: no endpoint; pass --unix=PATH or --port=P\n");
+    return 1;
+  }
+  if (cfg.threads < 1 || cfg.batch < 1) {
+    std::fprintf(stderr, "error: --threads and --batch must be >= 1\n");
+    return 1;
+  }
+
+  // Probe the daemon and learn the vertex universe for random edge/query IDs.
+  std::string err;
+  auto probe = connect(cfg, &err);
+  if (!probe) {
+    std::fprintf(stderr, "error: connect failed: %s\n", err.c_str());
+    return 1;
+  }
+  svc::ServiceStats st{};
+  if (!probe->stats(st) || st.num_vertices == 0) {
+    std::fprintf(stderr, "error: cannot read service stats (or empty universe)\n");
+    return 1;
+  }
+  cfg.num_vertices = st.num_vertices;
+  std::printf("target: %u vertices, epoch %llu; %d workers, %s, %.0f%% ingest\n",
+              cfg.num_vertices, static_cast<unsigned long long>(st.epoch),
+              cfg.threads, cfg.rate > 0.0 ? "open loop" : "closed loop",
+              cfg.ingest_frac * 100.0);
+
+  obs::Histogram& query_us = obs::registry().histogram(
+      "ecl.loadgen.query_us", obs::Histogram::pow2_bounds(22));
+  obs::Histogram& ingest_us = obs::registry().histogram(
+      "ecl.loadgen.ingest_us", obs::Histogram::pow2_bounds(22));
+
+  std::vector<WorkerResult> results(static_cast<std::size_t>(cfg.threads));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.threads));
+  Timer wall;
+  for (int t = 0; t < cfg.threads; ++t) {
+    threads.emplace_back(worker, std::cref(cfg), t, std::ref(query_us),
+                         std::ref(ingest_us), std::ref(results[static_cast<std::size_t>(t)]));
+  }
+  for (auto& th : threads) th.join();
+  const double wall_ms = wall.millis();
+
+  WorkerResult total;
+  std::vector<double> per_thread_ms;
+  for (const auto& r : results) {
+    total.queries += r.queries;
+    total.ingests += r.ingests;
+    total.shed += r.shed;
+    total.errors += r.errors;
+    total.edges_sent += r.edges_sent;
+    if (r.wall_ms > 0.0) per_thread_ms.push_back(r.wall_ms);
+  }
+  const std::uint64_t ops = total.queries + total.ingests;
+  const double throughput = wall_ms > 0.0 ? static_cast<double>(ops) / (wall_ms / 1000.0) : 0.0;
+  ECL_OBS_GAUGE_SET("ecl.loadgen.throughput_ops", throughput);
+  ECL_OBS_GAUGE_SET("ecl.loadgen.shed_batches", static_cast<double>(total.shed));
+
+  std::printf("done in %.0f ms: %llu ops (%llu queries, %llu ingests, %llu edges), "
+              "%.0f ops/s, %llu shed, %llu errors\n",
+              wall_ms, static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(total.queries),
+              static_cast<unsigned long long>(total.ingests),
+              static_cast<unsigned long long>(total.edges_sent), throughput,
+              static_cast<unsigned long long>(total.shed),
+              static_cast<unsigned long long>(total.errors));
+  std::printf("query  latency us: p50=%.1f p95=%.1f p99=%.1f\n",
+              query_us.percentile(0.50), query_us.percentile(0.95),
+              query_us.percentile(0.99));
+  std::printf("ingest latency us: p50=%.1f p95=%.1f p99=%.1f\n",
+              ingest_us.percentile(0.50), ingest_us.percentile(0.95),
+              ingest_us.percentile(0.99));
+
+  if (!report_file.empty()) {
+    obs::run_report().set_bench_name("svc_loadgen");
+    obs::run_report().set_config(/*scale=*/static_cast<double>(cfg.threads),
+                                 /*reps=*/cfg.threads);
+    obs::run_report().add_cell("service", cfg.rate > 0.0 ? "open_loop" : "closed_loop",
+                               per_thread_ms.empty() ? std::vector<double>{wall_ms}
+                                                     : per_thread_ms);
+    if (!obs::run_report().write_file(report_file)) {
+      std::fprintf(stderr, "error: cannot write report to %s\n", report_file.c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", report_file.c_str());
+  }
+
+  if (send_shutdown) {
+    if (auto c = connect(cfg, &err); c && c->shutdown_server()) {
+      std::printf("shutdown request acknowledged\n");
+    } else {
+      std::fprintf(stderr, "warning: shutdown request failed\n");
+    }
+  }
+  return ops == 0 ? 2 : 0;
+}

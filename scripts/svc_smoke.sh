@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the connectivity service: starts ecl_ccd on a
+# Unix socket, exercises it with ecl_cc_client and svc_loadgen, asks for a
+# graceful shutdown, and validates the run-report JSON (throughput cell +
+# p50/p95/p99 latency histograms from the obs registry).
+#
+#   usage: svc_smoke.sh <ecl_ccd> <ecl_cc_client> <svc_loadgen>
+set -euo pipefail
+
+CCD=$1
+CLIENT=$2
+LOADGEN=$3
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ecl_svc_smoke.XXXXXX")
+SOCK="$WORK/ccd.sock"
+READY="$WORK/ready.txt"
+CCD_LOG="$WORK/ccd.log"
+CCD_REPORT="$WORK/ccd_report.json"
+LOADGEN_REPORT="$WORK/loadgen_report.json"
+
+cleanup() {
+  if [[ -n "${CCD_PID:-}" ]] && kill -0 "$CCD_PID" 2>/dev/null; then
+    kill "$CCD_PID" 2>/dev/null || true
+    wait "$CCD_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== starting ecl_ccd on $SOCK"
+"$CCD" --vertices=20000 --unix="$SOCK" --ready-file="$READY" \
+       --report="$CCD_REPORT" >"$CCD_LOG" 2>&1 &
+CCD_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -f "$READY" ]] && break
+  kill -0 "$CCD_PID" 2>/dev/null || { echo "daemon died:"; cat "$CCD_LOG"; exit 1; }
+  sleep 0.1
+done
+[[ -f "$READY" ]] || { echo "daemon never became ready"; cat "$CCD_LOG"; exit 1; }
+
+echo "== client round trips"
+"$CLIENT" --unix="$SOCK" ping
+"$CLIENT" --unix="$SOCK" ingest 1 2 2 3
+"$CLIENT" --unix="$SOCK" connected 1 3 | grep -qx "connected"
+"$CLIENT" --unix="$SOCK" connected 1 4 | grep -qx "not-connected"
+"$CLIENT" --unix="$SOCK" stats
+
+echo "== load generation"
+"$LOADGEN" --unix="$SOCK" --threads=4 --duration-ms=1000 \
+           --report="$LOADGEN_REPORT"
+
+echo "== graceful shutdown"
+"$CLIENT" --unix="$SOCK" shutdown
+wait "$CCD_PID"
+CCD_EXIT=$?
+[[ "$CCD_EXIT" -eq 0 ]] || { echo "daemon exit code $CCD_EXIT"; cat "$CCD_LOG"; exit 1; }
+grep -q "^shutdown:" "$CCD_LOG" || { echo "no shutdown line:"; cat "$CCD_LOG"; exit 1; }
+
+echo "== validating report JSON"
+python3 - "$LOADGEN_REPORT" "$CCD_REPORT" <<'EOF'
+import json, sys
+
+r = json.load(open(sys.argv[1]))
+assert r['schema_version'] == 1, r['schema_version']
+assert r['bench'] == 'svc_loadgen', r['bench']
+assert r['cells'] and all(
+    c['rep_ms'] and c['min_ms'] <= c['median_ms'] <= c['max_ms'] for c in r['cells'])
+hists = {m['name']: m for m in r['metrics'] if 'p99' in m}
+for name in ('ecl.loadgen.query_us', 'ecl.loadgen.ingest_us'):
+    m = hists[name]
+    assert m['count'] > 0, (name, m)
+    assert 0 < m['p50'] <= m['p95'] <= m['p99'], (name, m)
+throughput = [m for m in r['metrics'] if m['name'] == 'ecl.loadgen.throughput_ops']
+assert throughput and throughput[0]['value'] > 0
+print('loadgen report ok: %d ops/s, query p99=%.0fus' %
+      (throughput[0]['value'], hists['ecl.loadgen.query_us']['p99']))
+
+d = json.load(open(sys.argv[2]))
+assert d['bench'] == 'ecl_ccd', d['bench']
+served = {m['name']: m for m in d['metrics']}
+assert served['ecl.svc.server.connections']['count'] > 0
+op_hists = [m for m in d['metrics'] if m['name'].startswith('ecl.svc.op_us.')]
+assert op_hists and all(m['p50'] <= m['p99'] for m in op_hists)
+print('daemon report ok: %d metrics, %d per-op histograms' %
+      (len(d['metrics']), len(op_hists)))
+EOF
+
+echo "svc smoke: PASS"

@@ -9,6 +9,8 @@
 // concurrently (§3's benign-race argument carries over verbatim).
 #pragma once
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "dsu/disjoint_set.h"
@@ -32,6 +34,18 @@ class IncrementalCC {
 
   /// Inserts the undirected edge (u, v). Thread-safe.
   void add_edge(vertex_t u, vertex_t v) { dsu_.unite(u, v); }
+
+  /// Bulk insert of `count` undirected edges, parallelized across the batch
+  /// with OpenMP (each hook is the same lock-free CAS as add_edge, so the
+  /// batch needs no ordering). Thread-safe with respect to concurrent
+  /// add_edge/add_edges/connected calls. This is the service ingest path:
+  /// one call per batch instead of one virtual dispatch per edge.
+  void add_edges(const std::pair<vertex_t, vertex_t>* edges, std::size_t count) {
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < count; ++i) {
+      dsu_.unite(edges[i].first, edges[i].second);
+    }
+  }
 
   /// True if u and v are currently connected. Thread-safe with respect to
   /// concurrent add_edge (a racing insertion may or may not be visible,

@@ -174,15 +174,91 @@ Graph load_binary(const std::string& path) {
   return Graph(std::move(offsets), std::move(adjacency));
 }
 
+namespace {
+
+std::ofstream open_for_write(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot write graph file: " + path);
+  return out;
+}
+
+void check_write(const std::ostream& out, const char* format) {
+  if (!out) fail(std::string("short write emitting ") + format + " graph");
+}
+
+/// Calls fn(v, u) once per undirected edge, with v >= u (the conditioned
+/// CSR stores both directions; emit the downward one).
+template <typename Fn>
+void for_each_undirected_edge(const Graph& g, Fn&& fn) {
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vertex_t u : g.neighbors(v)) {
+      if (u <= v) fn(v, u);
+    }
+  }
+}
+
+}  // namespace
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# " << g.num_vertices() << " vertices, " << g.num_edges()
+      << " directed edges\n";
+  for_each_undirected_edge(g, [&](vertex_t v, vertex_t u) { out << v << ' ' << u << '\n'; });
+  check_write(out, "edge list");
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  auto out = open_for_write(path);
+  write_edge_list(g, out);
+}
+
+void write_dimacs(const Graph& g, std::ostream& out) {
+  out << "c ECL-CC graph\n";
+  out << "p sp " << g.num_vertices() << ' ' << g.num_edges() / 2 << '\n';
+  for_each_undirected_edge(
+      g, [&](vertex_t v, vertex_t u) { out << "a " << v + 1 << ' ' << u + 1 << " 1\n"; });
+  check_write(out, "DIMACS");
+}
+
+void save_dimacs(const Graph& g, const std::string& path) {
+  auto out = open_for_write(path);
+  write_dimacs(g, out);
+}
+
+void write_matrix_market(const Graph& g, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges() / 2 << '\n';
+  for_each_undirected_edge(
+      g, [&](vertex_t v, vertex_t u) { out << v + 1 << ' ' << u + 1 << '\n'; });
+  check_write(out, "MatrixMarket");
+}
+
+void save_matrix_market(const Graph& g, const std::string& path) {
+  auto out = open_for_write(path);
+  write_matrix_market(g, out);
+}
+
+namespace {
+
+bool ends_with(const std::string& path, const char* suffix) {
+  const std::string s(suffix);
+  return path.size() >= s.size() &&
+         path.compare(path.size() - s.size(), s.size(), s) == 0;
+}
+
+}  // namespace
+
 Graph load_auto(const std::string& path) {
-  auto ends_with = [&](const char* suffix) {
-    const std::string s(suffix);
-    return path.size() >= s.size() && path.compare(path.size() - s.size(), s.size(), s) == 0;
-  };
-  if (ends_with(".gr")) return load_dimacs(path);
-  if (ends_with(".mtx")) return load_matrix_market(path);
-  if (ends_with(".eclg")) return load_binary(path);
+  if (ends_with(path, ".gr")) return load_dimacs(path);
+  if (ends_with(path, ".mtx")) return load_matrix_market(path);
+  if (ends_with(path, ".eclg")) return load_binary(path);
   return load_edge_list(path);
+}
+
+void save_auto(const Graph& g, const std::string& path) {
+  if (ends_with(path, ".gr")) return save_dimacs(g, path);
+  if (ends_with(path, ".mtx")) return save_matrix_market(g, path);
+  if (ends_with(path, ".eclg")) return save_binary(g, path);
+  return save_edge_list(g, path);
 }
 
 }  // namespace ecl

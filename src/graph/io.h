@@ -43,8 +43,30 @@ namespace ecl {
 void save_binary(const Graph& g, const std::string& path);
 [[nodiscard]] Graph load_binary(const std::string& path);
 
+// Writers for the text formats, mirroring the loaders above. Each
+// undirected edge is emitted once (as "larger smaller"); since DIMACS and
+// MatrixMarket headers carry the vertex count, those two formats round-trip
+// isolated vertices and the empty graph exactly. The edge-list format has
+// no header, so isolated vertices are lost and IDs are re-compacted on
+// load — an edge-list round trip preserves connectivity structure only.
+
+/// SNAP-style edge list: '#' header comment, one "u v" line per edge.
+void save_edge_list(const Graph& g, const std::string& path);
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// DIMACS challenge-9 .gr: "p sp <n> <m>" header, 1-based "a u v 1" arcs.
+void save_dimacs(const Graph& g, const std::string& path);
+void write_dimacs(const Graph& g, std::ostream& out);
+
+/// MatrixMarket coordinate pattern symmetric, 1-based entries.
+void save_matrix_market(const Graph& g, const std::string& path);
+void write_matrix_market(const Graph& g, std::ostream& out);
+
 /// Dispatches on file extension: .gr -> DIMACS, .mtx -> MatrixMarket,
 /// .eclg -> binary, anything else -> edge list.
 [[nodiscard]] Graph load_auto(const std::string& path);
+
+/// Writer twin of load_auto: picks the format from the extension.
+void save_auto(const Graph& g, const std::string& path);
 
 }  // namespace ecl

@@ -44,6 +44,34 @@ void Histogram::reset() noexcept {
   max_.store(0, std::memory_order_relaxed);
 }
 
+double Histogram::percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::max(0.0, std::min(1.0, q));
+  const double target = q * static_cast<double>(n);
+  const std::uint64_t observed_max = max();
+  std::uint64_t cumulative = 0;
+  std::uint64_t lower = 0;  // exclusive lower edge of the current bucket
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    // The overflow bucket has no finite upper bound; the observed max is the
+    // tightest correct stand-in.
+    const std::uint64_t upper =
+        i < bounds_.size() ? bounds_[i] : std::max(observed_max, lower);
+    if (in_bucket > 0 && cumulative + in_bucket >= target) {
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      const double estimate =
+          static_cast<double>(lower) +
+          fraction * static_cast<double>(upper - lower);
+      return std::min(estimate, static_cast<double>(observed_max));
+    }
+    cumulative += in_bucket;
+    lower = upper;
+  }
+  return static_cast<double>(observed_max);
+}
+
 std::vector<std::uint64_t> Histogram::pow2_bounds(unsigned n) {
   std::vector<std::uint64_t> bounds;
   bounds.reserve(n);
@@ -125,6 +153,9 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
     s.sum = h->sum();
     s.max = h->max();
     s.value = h->average();
+    s.p50 = h->percentile(0.50);
+    s.p95 = h->percentile(0.95);
+    s.p99 = h->percentile(0.99);
     const auto bounds = h->bounds();
     const auto counts = h->bucket_counts();
     s.buckets.reserve(bounds.size());

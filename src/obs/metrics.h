@@ -111,6 +111,12 @@ class Histogram {
     return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
   }
 
+  /// Estimated q-quantile (q in [0, 1]) of the recorded samples, linearly
+  /// interpolated within the containing bucket and clamped to the exact
+  /// observed max, so the estimate never exceeds a real sample. With
+  /// concurrent recorders the result is a point-in-time approximation.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
   /// Upper bounds including the implicit overflow bucket (UINT64_MAX last).
   [[nodiscard]] std::vector<std::uint64_t> bounds() const;
   /// Per-bucket sample counts, parallel to bounds().
@@ -139,6 +145,9 @@ struct MetricSnapshot {
   double value = 0.0;       // gauge value, or histogram average
   std::uint64_t sum = 0;    // histogram only
   std::uint64_t max = 0;    // histogram only
+  double p50 = 0.0;         // histogram only: estimated quantiles
+  double p95 = 0.0;
+  double p99 = 0.0;
   // (upper_bound, count) pairs; the final pair's bound is UINT64_MAX.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
 };
@@ -178,6 +187,9 @@ Registry& registry();
 
 #define ECL_OBS_COUNTER_ADD(name_literal, delta) ((void)0)
 #define ECL_OBS_GAUGE_SET(name_literal, v) ((void)0)
+// Evaluates (and discards) the sample so locals feeding it stay used, but
+// never touches the registry; `bounds` is not evaluated at all.
+#define ECL_OBS_HISTOGRAM_RECORD(name_literal, bounds, sample) ((void)(sample))
 
 #else
 
@@ -193,6 +205,15 @@ Registry& registry();
     static ::ecl::obs::Gauge& ecl_obs_gauge_ =                    \
         ::ecl::obs::registry().gauge(name_literal);               \
     ecl_obs_gauge_.set(v);                                        \
+  } while (0)
+
+// `bounds` is only evaluated on the first execution (registration wins the
+// bounds; later lookups ignore them — same registry rule as elsewhere).
+#define ECL_OBS_HISTOGRAM_RECORD(name_literal, bounds, sample)    \
+  do {                                                            \
+    static ::ecl::obs::Histogram& ecl_obs_hist_ =                 \
+        ::ecl::obs::registry().histogram(name_literal, bounds);   \
+    ecl_obs_hist_.record(sample);                                 \
   } while (0)
 
 #endif  // ECL_OBS_DISABLED

@@ -96,6 +96,12 @@ void write_metrics(JsonWriter& w) {
         w.value(m.max);
         w.key("average");
         w.value(m.value);
+        w.key("p50");
+        w.value(m.p50);
+        w.key("p95");
+        w.value(m.p95);
+        w.key("p99");
+        w.value(m.p99);
         w.key("buckets");
         w.begin_array();
         for (const auto& [le, count] : m.buckets) {

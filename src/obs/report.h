@@ -19,7 +19,8 @@
 //     "metrics": [{"name": "...", "kind": "counter", "count": 123} |
 //                 {"name": "...", "kind": "gauge", "value": 1.5} |
 //                 {"name": "...", "kind": "histogram", "count": .., "sum": ..,
-//                  "max": .., "average": .., "buckets": [{"le": .., "count": ..}]}]
+//                  "max": .., "average": .., "p50": .., "p95": .., "p99": ..,
+//                  "buckets": [{"le": .., "count": ..}]}]
 //   }
 // See docs/OBSERVABILITY.md for the full field reference.
 #pragma once

@@ -1,0 +1,107 @@
+#include "svc/client.h"
+
+#include <unistd.h>
+
+#include "svc/net.h"
+
+namespace ecl::svc {
+
+std::unique_ptr<Client> Client::connect_tcp(const std::string& host, int port,
+                                            std::string* err) {
+  const int fd = net::connect_tcp(host, port, err);
+  if (fd < 0) return nullptr;
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+std::unique_ptr<Client> Client::connect_unix(const std::string& path, std::string* err) {
+  const int fd = net::connect_unix(path, err);
+  if (fd < 0) return nullptr;
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::round_trip(Request& req, Response& resp) {
+  req.id = next_id_++;
+  scratch_.clear();
+  encode_request(req, scratch_);
+  if (!net::write_frame(fd_, scratch_)) return false;
+  if (!net::read_frame(fd_, scratch_)) return false;
+  if (!decode_response(scratch_, resp)) return false;
+  // A response for a different request or op means the stream is skewed.
+  return resp.id == req.id && resp.type == req.type;
+}
+
+bool Client::ping() {
+  Request req;
+  req.type = MsgType::kPing;
+  Response resp;
+  return round_trip(req, resp) && resp.status == Status::kOk;
+}
+
+Status Client::ingest(const std::vector<Edge>& edges) {
+  Request req;
+  req.type = MsgType::kIngest;
+  req.edges = edges;
+  Response resp;
+  if (!round_trip(req, resp)) return Status::kError;
+  return resp.status;
+}
+
+bool Client::connected(vertex_t u, vertex_t v, ReadMode mode, Status* status) {
+  Request req;
+  req.type = MsgType::kConnected;
+  req.u = u;
+  req.v = v;
+  req.mode = mode;
+  Response resp;
+  if (!round_trip(req, resp)) {
+    if (status != nullptr) *status = Status::kError;
+    return false;
+  }
+  if (status != nullptr) *status = resp.status;
+  return resp.status == Status::kOk && resp.value != 0;
+}
+
+vertex_t Client::component_of(vertex_t v, ReadMode mode, Status* status) {
+  Request req;
+  req.type = MsgType::kComponentOf;
+  req.v = v;
+  req.mode = mode;
+  Response resp;
+  if (!round_trip(req, resp)) {
+    if (status != nullptr) *status = Status::kError;
+    return kInvalidVertex;
+  }
+  if (status != nullptr) *status = resp.status;
+  return resp.status == Status::kOk ? static_cast<vertex_t>(resp.value) : kInvalidVertex;
+}
+
+bool Client::component_count(std::uint64_t& count) {
+  Request req;
+  req.type = MsgType::kComponentCount;
+  Response resp;
+  if (!round_trip(req, resp) || resp.status != Status::kOk) return false;
+  count = resp.value;
+  return true;
+}
+
+bool Client::stats(ServiceStats& out) {
+  Request req;
+  req.type = MsgType::kStats;
+  Response resp;
+  if (!round_trip(req, resp) || resp.status != Status::kOk) return false;
+  out = resp.stats;
+  return true;
+}
+
+bool Client::shutdown_server() {
+  Request req;
+  req.type = MsgType::kShutdown;
+  Response resp;
+  return round_trip(req, resp) && resp.status == Status::kOk;
+}
+
+}  // namespace ecl::svc

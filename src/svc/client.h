@@ -1,0 +1,71 @@
+// Blocking client for the ecl::svc protocol, used by tools/ecl_cc_client
+// and bench/svc_loadgen. One request in flight per client; not thread-safe
+// (load generators open one client per worker thread, which also gives the
+// kernel one socket per connection to spread accept/wakeup costs).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "svc/protocol.h"
+
+namespace ecl::svc {
+
+class Client {
+ public:
+  /// Connects over TCP (numeric IPv4 host). Null on failure, reason in *err.
+  [[nodiscard]] static std::unique_ptr<Client> connect_tcp(const std::string& host,
+                                                           int port,
+                                                           std::string* err = nullptr);
+
+  /// Connects to a Unix-domain socket. Null on failure, reason in *err.
+  [[nodiscard]] static std::unique_ptr<Client> connect_unix(const std::string& path,
+                                                            std::string* err = nullptr);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trips an empty request. False on transport failure.
+  [[nodiscard]] bool ping();
+
+  /// Submits an edge batch; the returned status is the server's admission
+  /// verdict (kOk / kShed / kClosed), or kError on transport failure.
+  [[nodiscard]] Status ingest(const std::vector<Edge>& edges);
+
+  /// Connectivity query. Transport/protocol failures surface as kError in
+  /// *status (when provided) with a false result.
+  [[nodiscard]] bool connected(vertex_t u, vertex_t v,
+                               ReadMode mode = ReadMode::kSnapshot,
+                               Status* status = nullptr);
+
+  /// Component label of v (canonical under kSnapshot). kInvalidVertex on
+  /// invalid v or failure.
+  [[nodiscard]] vertex_t component_of(vertex_t v, ReadMode mode = ReadMode::kSnapshot,
+                                      Status* status = nullptr);
+
+  /// Snapshot component count. False on failure.
+  [[nodiscard]] bool component_count(std::uint64_t& count);
+
+  /// Full service stats sample. False on failure.
+  [[nodiscard]] bool stats(ServiceStats& out);
+
+  /// Asks the daemon to shut down gracefully. True if acknowledged.
+  [[nodiscard]] bool shutdown_server();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Sends `req` (stamping a fresh id) and reads the matching response.
+  [[nodiscard]] bool round_trip(Request& req, Response& resp);
+
+  int fd_;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace ecl::svc

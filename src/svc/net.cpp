@@ -1,0 +1,177 @@
+#include "svc/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "svc/protocol.h"
+
+namespace ecl::svc::net {
+
+namespace {
+
+void set_error(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool read_full(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got == 0) return false;  // orderly EOF
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  std::uint8_t prefix[4];
+  if (!read_full(fd, prefix, sizeof(prefix))) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  if (len > kMaxFrameBytes) return false;
+  payload.resize(len);
+  return len == 0 || read_full(fd, payload.data(), len);
+}
+
+bool write_frame(int fd, const std::vector<std::uint8_t>& bytes) {
+  return write_full(fd, bytes.data(), bytes.size());
+}
+
+int listen_tcp(const std::string& host, int port, int backlog, int* bound_port,
+               std::string* err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(err, "socket");
+    return -1;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = "listen_tcp: host must be a numeric IPv4 address: " + host;
+    ::close(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(err, "bind " + host);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0) {
+    set_error(err, "listen");
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      *bound_port = ntohs(bound.sin_port);
+    }
+  }
+  return fd;
+}
+
+int listen_unix(const std::string& path, int backlog, std::string* err) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "unix socket path too long: " + path;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(err, "socket");
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(err, "bind " + path);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0) {
+    set_error(err, "listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, int port, std::string* err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(err, "socket");
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = "connect_tcp: host must be a numeric IPv4 address: " + host;
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(err, "connect " + host);
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int connect_unix(const std::string& path, std::string* err) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "unix socket path too long: " + path;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(err, "socket");
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(err, "connect " + path);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace ecl::svc::net

@@ -1,0 +1,43 @@
+// POSIX socket plumbing shared by the svc server and client: full-buffer
+// read/write loops (EINTR-safe), frame I/O matching protocol.h's length
+// prefix, and listener/connector constructors for TCP and Unix-domain
+// stream sockets. Kept separate from protocol.h so the byte-level codec
+// stays free of OS dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecl::svc::net {
+
+/// Reads exactly n bytes. False on EOF, error, or peer shutdown.
+[[nodiscard]] bool read_full(int fd, void* buf, std::size_t n);
+
+/// Writes exactly n bytes (SIGPIPE suppressed via MSG_NOSIGNAL).
+[[nodiscard]] bool write_full(int fd, const void* buf, std::size_t n);
+
+/// Reads one frame: the u32 length prefix, then the payload into `payload`
+/// (replaced). False on EOF, error, or a length above kMaxFrameBytes.
+[[nodiscard]] bool read_frame(int fd, std::vector<std::uint8_t>& payload);
+
+/// Writes pre-encoded frame bytes (length prefix already included).
+[[nodiscard]] bool write_frame(int fd, const std::vector<std::uint8_t>& bytes);
+
+/// Creates a listening TCP socket on host:port (numeric IPv4 only;
+/// port 0 picks an ephemeral port, reported through *bound_port).
+/// Returns the fd, or -1 with *err filled in.
+[[nodiscard]] int listen_tcp(const std::string& host, int port, int backlog,
+                             int* bound_port, std::string* err);
+
+/// Creates a listening Unix-domain stream socket at `path` (unlinking any
+/// stale socket file first). Returns the fd, or -1 with *err filled in.
+[[nodiscard]] int listen_unix(const std::string& path, int backlog, std::string* err);
+
+/// Connects to a TCP endpoint (numeric IPv4). Returns the fd or -1.
+[[nodiscard]] int connect_tcp(const std::string& host, int port, std::string* err);
+
+/// Connects to a Unix-domain stream socket. Returns the fd or -1.
+[[nodiscard]] int connect_unix(const std::string& path, std::string* err);
+
+}  // namespace ecl::svc::net

@@ -1,0 +1,224 @@
+#include "svc/protocol.h"
+
+#include <cstring>
+
+namespace ecl::svc {
+
+namespace {
+
+// Little-endian byte-vector primitives. memcpy keeps them alignment-safe;
+// on LE hosts (everything this repo targets) the compiler folds them to
+// plain loads/stores.
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > data_.size()) return false;
+    v = data_[pos_++];
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Patches the u32 length prefix reserved at `frame_start` once the payload
+/// size is known.
+void finish_frame(std::vector<std::uint8_t>& out, std::size_t frame_start) {
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(out.size() - frame_start - 4);
+  for (int i = 0; i < 4; ++i) {
+    out[frame_start + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload_len >> (8 * i));
+  }
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kShed:
+      return "shed";
+    case Status::kClosed:
+      return "closed";
+    case Status::kInvalid:
+      return "invalid";
+    case Status::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
+  const std::size_t frame_start = out.size();
+  put_u32(out, 0);  // length placeholder
+  put_u8(out, static_cast<std::uint8_t>(req.type));
+  put_u64(out, req.id);
+  switch (req.type) {
+    case MsgType::kIngest:
+      put_u32(out, static_cast<std::uint32_t>(req.edges.size()));
+      for (const auto& [u, v] : req.edges) {
+        put_u32(out, u);
+        put_u32(out, v);
+      }
+      break;
+    case MsgType::kConnected:
+      put_u32(out, req.u);
+      put_u32(out, req.v);
+      put_u8(out, static_cast<std::uint8_t>(req.mode));
+      break;
+    case MsgType::kComponentOf:
+      put_u32(out, req.v);
+      put_u8(out, static_cast<std::uint8_t>(req.mode));
+      break;
+    case MsgType::kPing:
+    case MsgType::kComponentCount:
+    case MsgType::kStats:
+    case MsgType::kShutdown:
+      break;
+  }
+  finish_frame(out, frame_start);
+}
+
+void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
+  const std::size_t frame_start = out.size();
+  put_u32(out, 0);  // length placeholder
+  put_u8(out, static_cast<std::uint8_t>(resp.type));
+  put_u64(out, resp.id);
+  put_u8(out, static_cast<std::uint8_t>(resp.status));
+  switch (resp.type) {
+    case MsgType::kConnected:
+    case MsgType::kComponentOf:
+    case MsgType::kComponentCount:
+      put_u64(out, resp.value);
+      break;
+    case MsgType::kStats:
+      put_u64(out, resp.stats.epoch);
+      put_u64(out, resp.stats.watermark);
+      put_u64(out, resp.stats.applied_edges);
+      put_u64(out, resp.stats.accepted_batches);
+      put_u64(out, resp.stats.applied_batches);
+      put_u64(out, resp.stats.shed_batches);
+      put_u64(out, resp.stats.queue_depth);
+      put_u64(out, resp.stats.num_components);
+      put_u64(out, resp.stats.num_vertices);
+      break;
+    case MsgType::kPing:
+    case MsgType::kIngest:
+    case MsgType::kShutdown:
+      break;
+  }
+  finish_frame(out, frame_start);
+}
+
+bool decode_request(std::span<const std::uint8_t> payload, Request& req) {
+  Reader r(payload);
+  std::uint8_t type = 0;
+  if (!r.u8(type) || type > static_cast<std::uint8_t>(MsgType::kShutdown)) return false;
+  req.type = static_cast<MsgType>(type);
+  if (!r.u64(req.id)) return false;
+  req.u = 0;
+  req.v = 0;
+  req.mode = ReadMode::kSnapshot;
+  req.edges.clear();
+  std::uint8_t mode = 0;
+  switch (req.type) {
+    case MsgType::kIngest: {
+      std::uint32_t count = 0;
+      if (!r.u32(count)) return false;
+      req.edges.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t u = 0;
+        std::uint32_t v = 0;
+        if (!r.u32(u) || !r.u32(v)) return false;
+        req.edges.emplace_back(u, v);
+      }
+      break;
+    }
+    case MsgType::kConnected:
+      if (!r.u32(req.u) || !r.u32(req.v) || !r.u8(mode) || mode > 1) return false;
+      req.mode = static_cast<ReadMode>(mode);
+      break;
+    case MsgType::kComponentOf:
+      if (!r.u32(req.v) || !r.u8(mode) || mode > 1) return false;
+      req.mode = static_cast<ReadMode>(mode);
+      break;
+    case MsgType::kPing:
+    case MsgType::kComponentCount:
+    case MsgType::kStats:
+    case MsgType::kShutdown:
+      break;
+  }
+  return r.exhausted();
+}
+
+bool decode_response(std::span<const std::uint8_t> payload, Response& resp) {
+  Reader r(payload);
+  std::uint8_t type = 0;
+  std::uint8_t status = 0;
+  if (!r.u8(type) || type > static_cast<std::uint8_t>(MsgType::kShutdown)) return false;
+  resp.type = static_cast<MsgType>(type);
+  if (!r.u64(resp.id)) return false;
+  if (!r.u8(status) || status > static_cast<std::uint8_t>(Status::kError)) return false;
+  resp.status = static_cast<Status>(status);
+  resp.value = 0;
+  resp.stats = ServiceStats{};
+  switch (resp.type) {
+    case MsgType::kConnected:
+    case MsgType::kComponentOf:
+    case MsgType::kComponentCount:
+      if (!r.u64(resp.value)) return false;
+      break;
+    case MsgType::kStats: {
+      std::uint64_t components = 0;
+      std::uint64_t vertices = 0;
+      if (!r.u64(resp.stats.epoch) || !r.u64(resp.stats.watermark) ||
+          !r.u64(resp.stats.applied_edges) || !r.u64(resp.stats.accepted_batches) ||
+          !r.u64(resp.stats.applied_batches) || !r.u64(resp.stats.shed_batches) ||
+          !r.u64(resp.stats.queue_depth) || !r.u64(components) || !r.u64(vertices)) {
+        return false;
+      }
+      resp.stats.num_components = static_cast<vertex_t>(components);
+      resp.stats.num_vertices = static_cast<vertex_t>(vertices);
+      break;
+    }
+    case MsgType::kPing:
+    case MsgType::kIngest:
+    case MsgType::kShutdown:
+      break;
+  }
+  return r.exhausted();
+}
+
+}  // namespace ecl::svc

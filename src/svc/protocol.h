@@ -1,0 +1,103 @@
+// ecl::svc wire protocol — a small length-prefixed binary framing shared by
+// the daemon (tools/ecl_ccd), the client library, and the load generator.
+//
+// Framing (all integers little-endian):
+//
+//   frame    := u32 payload_len | payload          (len excludes itself)
+//   request  := u8 type | u64 request_id | body
+//   response := u8 type | u64 request_id | u8 status | body
+//
+// Request bodies:
+//   kPing            (empty)
+//   kIngest          u32 edge_count | edge_count x (u32 u | u32 v)
+//   kConnected       u32 u | u32 v | u8 read_mode
+//   kComponentOf     u32 v | u8 read_mode
+//   kComponentCount  (empty)
+//   kStats           (empty)
+//   kShutdown        (empty)
+//
+// Response bodies:
+//   kPing / kIngest / kShutdown   (empty)
+//   kConnected                    u64 value (0/1)
+//   kComponentOf                  u64 value (label; kInvalidVertex if bad v)
+//   kComponentCount               u64 value
+//   kStats                        9 x u64: epoch, watermark, applied_edges,
+//                                 accepted_batches, applied_batches,
+//                                 shed_batches, queue_depth, num_components,
+//                                 num_vertices
+//
+// The status byte carries the service's admission/backpressure verdict to
+// the client: a full ingest queue yields kShed — a definitive, visible
+// response — never a blocked connection or a silent drop.
+//
+// Encode/decode functions are pure byte-vector transforms with no socket
+// dependencies, so the protocol is unit-testable in isolation and reusable
+// over any stream transport.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "svc/service.h"
+
+namespace ecl::svc {
+
+enum class MsgType : std::uint8_t {
+  kPing = 0,
+  kIngest = 1,
+  kConnected = 2,
+  kComponentOf = 3,
+  kComponentCount = 4,
+  kStats = 5,
+  kShutdown = 6,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kShed = 1,      // ingest queue full: retry later (backpressure)
+  kClosed = 2,    // service draining / shut down
+  kInvalid = 3,   // malformed request or out-of-range vertex
+  kError = 4,     // internal error
+};
+
+[[nodiscard]] const char* status_name(Status s);
+
+/// Frames larger than this are rejected as malformed (protects the server
+/// from hostile or corrupt length prefixes).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 26;  // 64 MiB
+
+struct Request {
+  MsgType type = MsgType::kPing;
+  std::uint64_t id = 0;
+  vertex_t u = 0;
+  vertex_t v = 0;
+  ReadMode mode = ReadMode::kSnapshot;
+  std::vector<Edge> edges;  // kIngest only
+};
+
+struct Response {
+  MsgType type = MsgType::kPing;
+  std::uint64_t id = 0;
+  Status status = Status::kOk;
+  std::uint64_t value = 0;  // kConnected / kComponentOf / kComponentCount
+  ServiceStats stats;       // kStats only
+};
+
+/// Appends the complete frame (length prefix + payload) for `req` to `out`.
+void encode_request(const Request& req, std::vector<std::uint8_t>& out);
+
+/// Appends the complete frame for `resp` to `out`.
+void encode_response(const Response& resp, std::vector<std::uint8_t>& out);
+
+/// Parses a request payload (the bytes *after* the length prefix).
+/// Returns false on malformed input; `req` is unspecified then.
+[[nodiscard]] bool decode_request(std::span<const std::uint8_t> payload, Request& req);
+
+/// Parses a response payload. Returns false on malformed input.
+[[nodiscard]] bool decode_response(std::span<const std::uint8_t> payload, Response& resp);
+
+}  // namespace ecl::svc

@@ -1,0 +1,87 @@
+// Bounded MPSC work queue with explicit admission control.
+//
+// The serving layer's backpressure contract (docs/SERVICE.md) hinges on one
+// property: a full queue *rejects* new work with a visible shed signal
+// instead of blocking the producer or dropping silently. try_push is
+// therefore the only producer entry point — there is no blocking push — and
+// its result tells the front end exactly what to report to the client.
+//
+// close() begins graceful drain: producers are refused from that point on,
+// but everything already admitted stays in the queue and pop() keeps
+// handing it out until the queue is empty, so in-flight batches are never
+// lost on shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace ecl::svc {
+
+/// Producer-side admission verdict.
+enum class Admission {
+  kAccepted,  // enqueued; the consumer will process it
+  kShed,      // queue at capacity; caller should report backpressure
+  kClosed,    // queue closed (draining/shut down); caller should report so
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admission: refuses (rather than waits) when full.
+  [[nodiscard]] Admission try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return Admission::kClosed;
+      if (items_.size() >= capacity_) return Admission::kShed;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return Admission::kAccepted;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and* drained.
+  /// Returns false only in the latter case (consumer should exit).
+  [[nodiscard]] bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Refuses all future producers; already-admitted items remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ecl::svc

@@ -1,0 +1,232 @@
+#include "svc/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "svc/net.h"
+#include "svc/protocol.h"
+
+namespace ecl::svc {
+
+namespace {
+
+/// Per-op latency sink; one switch so every op keeps its own cached
+/// function-local static histogram reference.
+void record_op_latency(MsgType type, std::uint64_t us) {
+  const auto bounds = [] { return obs::Histogram::pow2_bounds(22); };
+  switch (type) {
+    case MsgType::kPing:
+      ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.ping", bounds(), us);
+      break;
+    case MsgType::kIngest:
+      ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.ingest", bounds(), us);
+      break;
+    case MsgType::kConnected:
+      ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.connected", bounds(), us);
+      break;
+    case MsgType::kComponentOf:
+      ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.component_of", bounds(), us);
+      break;
+    case MsgType::kComponentCount:
+      ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.component_count", bounds(), us);
+      break;
+    case MsgType::kStats:
+      ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.stats", bounds(), us);
+      break;
+    case MsgType::kShutdown:
+      break;
+  }
+}
+
+}  // namespace
+
+Server::Server(ConnectivityService& service, ServerOptions opts)
+    : service_(service), opts_(std::move(opts)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* err) {
+  if (started_.load()) return true;
+  if (::pipe(wake_pipe_) != 0) {
+    if (err != nullptr) *err = "pipe failed";
+    return false;
+  }
+  if (!opts_.unix_path.empty()) {
+    listen_fd_ = net::listen_unix(opts_.unix_path, opts_.backlog, err);
+  } else {
+    listen_fd_ = net::listen_tcp(opts_.host, opts_.port, opts_.backlog, &bound_port_, err);
+  }
+  if (listen_fd_ < 0) {
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+    return false;
+  }
+  started_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::request_shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'x';
+    // Best effort; the accept loop also polls the flag.
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::accept_loop() {
+  while (!shutdown_requested_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    if ((fds[1].revents & POLLIN) != 0) break;  // shutdown wake-up
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    ECL_OBS_COUNTER_ADD("ecl.svc.server.connections", 1);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.emplace_back();
+    Connection* conn = &conns_.back();
+    conn->fd = client_fd;
+    conn->thread = std::thread([this, conn] { handle_connection(conn); });
+  }
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+
+  // Half-close every live connection so blocked readers see EOF, then join.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (Connection& c : conns_) {
+      if (c.fd >= 0) ::shutdown(c.fd, SHUT_RDWR);
+    }
+  }
+  for (Connection& c : conns_) {
+    if (c.thread.joinable()) c.thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (Connection& c : conns_) {
+      if (c.fd >= 0) ::close(c.fd);
+      c.fd = -1;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+void Server::handle_connection(Connection* conn) {
+  const int fd = conn->fd;
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> reply;
+  Request req;
+  while (net::read_frame(fd, payload)) {
+    Timer t;
+    Response resp;
+    if (!decode_request(payload, req)) {
+      resp.status = Status::kInvalid;
+      ECL_OBS_COUNTER_ADD("ecl.svc.server.malformed", 1);
+      reply.clear();
+      encode_response(resp, reply);
+      (void)net::write_frame(fd, reply);
+      break;  // framing is untrustworthy now; drop the connection
+    }
+    resp = dispatch(req);
+    reply.clear();
+    encode_response(resp, reply);
+    if (!net::write_frame(fd, reply)) break;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    record_op_latency(req.type, static_cast<std::uint64_t>(t.micros()));
+    if (req.type == MsgType::kShutdown) {
+      request_shutdown();
+      break;
+    }
+  }
+  // The accept loop owns the final close; just mark the fd dead so the
+  // shutdown path does not shut down a recycled descriptor.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+Response Server::dispatch(const Request& req) {
+  Response resp;
+  resp.type = req.type;
+  resp.id = req.id;
+  switch (req.type) {
+    case MsgType::kPing:
+    case MsgType::kShutdown:
+      break;
+    case MsgType::kIngest:
+      switch (service_.submit(req.edges)) {
+        case Admission::kAccepted:
+          break;
+        case Admission::kShed:
+          resp.status = Status::kShed;
+          break;
+        case Admission::kClosed:
+          resp.status = Status::kClosed;
+          break;
+      }
+      break;
+    case MsgType::kConnected:
+      if (req.u >= service_.num_vertices() || req.v >= service_.num_vertices()) {
+        resp.status = Status::kInvalid;
+      } else {
+        resp.value = service_.connected(req.u, req.v, req.mode) ? 1 : 0;
+      }
+      break;
+    case MsgType::kComponentOf: {
+      const vertex_t label = service_.component_of(req.v, req.mode);
+      if (label == kInvalidVertex) {
+        resp.status = Status::kInvalid;
+      } else {
+        resp.value = label;
+      }
+      break;
+    }
+    case MsgType::kComponentCount:
+      resp.value = service_.component_count();
+      break;
+    case MsgType::kStats:
+      resp.stats = service_.stats();
+      break;
+  }
+  return resp;
+}
+
+void Server::wait() {
+  if (!started_.load()) return;
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [&] { return done_; });
+}
+
+void Server::stop() {
+  if (!started_.load()) return;
+  request_shutdown();
+  wait();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+}  // namespace ecl::svc

@@ -1,0 +1,101 @@
+// Socket front end for ConnectivityService: accepts TCP or Unix-domain
+// connections, speaks the length-prefixed protocol (svc/protocol.h), and
+// maps the service's admission verdicts onto response status bytes — a full
+// ingest queue becomes an explicit kShed response, never a stalled socket.
+//
+// Threading model: one accept thread plus one thread per connection (the
+// protocol is strictly request/response per connection, so per-connection
+// threads need no shared write locks). Shutdown is race-free via a
+// self-pipe: request_shutdown() only sets an atomic flag and writes one
+// byte, so it is safe from handler threads and signal handlers alike; the
+// accept loop notices, stops admitting, half-closes every live connection
+// to unblock its reader, joins all handlers, and then drains the service.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "svc/protocol.h"
+#include "svc/service.h"
+
+namespace ecl::svc {
+
+struct ServerOptions {
+  /// Non-empty: serve on a Unix-domain socket at this path (and ignore
+  /// host/port). Empty: serve on TCP host:port.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (see port() after start()).
+  int port = 0;
+  int backlog = 64;
+};
+
+class Server {
+ public:
+  /// The service must outlive the server. The server does not stop() the
+  /// service; the owner decides when to drain it (tools/ecl_ccd does so
+  /// after wait() returns).
+  Server(ConnectivityService& service, ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. False (with the reason
+  /// in *err) if the endpoint could not be created.
+  [[nodiscard]] bool start(std::string* err = nullptr);
+
+  /// Bound TCP port (meaningful after start() on a TCP endpoint).
+  [[nodiscard]] int port() const { return bound_port_; }
+
+  /// Begins shutdown. Async-signal-safe: only an atomic store and one
+  /// write(2) on the self-pipe.
+  void request_shutdown();
+
+  /// Blocks until the accept loop and every connection handler have exited.
+  void wait();
+
+  /// request_shutdown() + wait() + join. Idempotent.
+  void stop();
+
+  /// Number of requests served so far (all connections).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;        // -1 once the handler has finished with it
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void handle_connection(Connection* conn);
+  Response dispatch(const Request& req);
+
+  ConnectivityService& service_;
+  const ServerOptions opts_;
+
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> started_{false};
+
+  std::mutex conns_mu_;
+  std::list<Connection> conns_;
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
+
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace ecl::svc

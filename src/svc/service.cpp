@@ -1,0 +1,284 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/timer.h"
+#include "core/ecl_cc.h"
+#include "graph/builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ecl::svc {
+
+namespace {
+
+vertex_t count_labels(const std::vector<vertex_t>& labels) {
+  vertex_t components = 0;
+  for (vertex_t v = 0; v < static_cast<vertex_t>(labels.size()); ++v) {
+    if (labels[v] == v) ++components;
+  }
+  return components;
+}
+
+SnapshotPtr make_identity_snapshot(vertex_t n) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->labels.resize(n);
+  for (vertex_t v = 0; v < n; ++v) snap->labels[v] = v;
+  snap->num_components = n;
+  return snap;
+}
+
+}  // namespace
+
+ConnectivityService::ConnectivityService(vertex_t n, ServiceOptions opts)
+    : num_vertices_(n), opts_(opts), live_(n), queue_(opts.queue_capacity) {
+  snapshot_.store(make_identity_snapshot(n));
+  start_threads();
+}
+
+ConnectivityService::ConnectivityService(const Graph& seed, ServiceOptions opts)
+    : num_vertices_(seed.num_vertices()),
+      opts_(opts),
+      live_(seed),
+      queue_(opts.queue_capacity) {
+  for (vertex_t v = 0; v < num_vertices_; ++v) {
+    for (const vertex_t u : seed.neighbors(v)) {
+      if (u < v) log_.emplace_back(v, u);
+    }
+  }
+  applied_edges_.store(log_.size());
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->watermark = log_.size();
+  EclOptions eopts;
+  eopts.num_threads = opts_.num_threads;
+  Timer t;
+  snap->labels = num_vertices_ > 0 ? ecl_cc_omp(seed, eopts) : std::vector<vertex_t>{};
+  snap->build_ms = t.millis();
+  snap->num_components = count_labels(snap->labels);
+  snapshot_.store(std::move(snap));
+  start_threads();
+}
+
+ConnectivityService::~ConnectivityService() { stop(); }
+
+void ConnectivityService::start_threads() {
+  ingest_thread_ = std::thread([this] { ingest_loop(); });
+  compact_thread_ = std::thread([this] { compact_loop(); });
+}
+
+Admission ConnectivityService::submit(EdgeBatch batch) {
+  if (stopped_.load(std::memory_order_acquire)) return Admission::kClosed;
+  const Admission verdict = queue_.try_push(std::move(batch));
+  switch (verdict) {
+    case Admission::kAccepted:
+      accepted_batches_.fetch_add(1, std::memory_order_relaxed);
+      ECL_OBS_COUNTER_ADD("ecl.svc.ingest.batches", 1);
+      break;
+    case Admission::kShed:
+      shed_batches_.fetch_add(1, std::memory_order_relaxed);
+      ECL_OBS_COUNTER_ADD("ecl.svc.ingest.shed", 1);
+      break;
+    case Admission::kClosed:
+      break;
+  }
+  ECL_OBS_GAUGE_SET("ecl.svc.queue.depth", static_cast<double>(queue_.size()));
+  return verdict;
+}
+
+void ConnectivityService::ingest_loop() {
+  EdgeBatch batch;
+  while (queue_.pop(batch)) {
+    ECL_OBS_SPAN(span, "svc.batch", "svc");
+    Timer t;
+    if (opts_.ingest_delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(opts_.ingest_delay_us));
+    }
+    // Drop edges outside the vertex universe; everything else is applied.
+    const std::size_t before = batch.size();
+    std::erase_if(batch, [this](const Edge& e) {
+      return e.first >= num_vertices_ || e.second >= num_vertices_;
+    });
+    if (const std::size_t invalid = before - batch.size(); invalid > 0) {
+      ECL_OBS_COUNTER_ADD("ecl.svc.ingest.invalid_edges", invalid);
+    }
+
+    live_.add_edges(batch.data(), batch.size());
+    {
+      std::lock_guard<std::mutex> lock(log_mu_);
+      log_.insert(log_.end(), batch.begin(), batch.end());
+    }
+    applied_edges_.fetch_add(batch.size(), std::memory_order_release);
+    ECL_OBS_COUNTER_ADD("ecl.svc.ingest.edges", batch.size());
+    ECL_OBS_HISTOGRAM_RECORD("ecl.svc.batch_apply_us",
+                             ::ecl::obs::Histogram::pow2_bounds(22),
+                             static_cast<std::uint64_t>(t.micros()));
+    ECL_OBS_GAUGE_SET("ecl.svc.queue.depth", static_cast<double>(queue_.size()));
+    span.arg("edges", static_cast<std::uint64_t>(batch.size()));
+    {
+      std::lock_guard<std::mutex> lock(progress_mu_);
+      applied_batches_.fetch_add(1, std::memory_order_release);
+    }
+    progress_cv_.notify_all();
+    compact_cv_.notify_all();
+  }
+}
+
+void ConnectivityService::compact_loop() {
+  const auto interval = std::chrono::milliseconds(
+      std::max(1, opts_.compact_interval_ms));
+  for (;;) {
+    bool exiting = false;
+    {
+      std::unique_lock<std::mutex> lock(progress_mu_);
+      compact_cv_.wait_for(lock, interval, [&] {
+        const auto snap = snapshot_.load(std::memory_order_acquire);
+        const std::uint64_t applied = applied_edges_.load(std::memory_order_acquire);
+        return stopping_ || force_watermark_ > snap->watermark ||
+               applied - snap->watermark >= opts_.compact_min_new_edges;
+      });
+      exiting = stopping_;
+    }
+    const auto snap = snapshot_.load(std::memory_order_acquire);
+    const std::uint64_t applied = applied_edges_.load(std::memory_order_acquire);
+    bool forced = false;
+    {
+      std::lock_guard<std::mutex> lock(progress_mu_);
+      forced = force_watermark_ > snap->watermark;
+    }
+    const bool pending = applied > snap->watermark;
+    if (pending && (forced || exiting ||
+                    applied - snap->watermark >= opts_.compact_min_new_edges)) {
+      run_compaction();
+    }
+    if (exiting) return;
+  }
+}
+
+void ConnectivityService::run_compaction() {
+  ECL_OBS_SPAN(span, "svc.compact", "svc");
+  Timer t;
+  std::vector<Edge> edges;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    edges = log_;
+  }
+  const std::uint64_t watermark = edges.size();
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch = snapshot_.load(std::memory_order_acquire)->epoch + 1;
+  snap->watermark = watermark;
+  if (num_vertices_ > 0) {
+    const Graph g = build_graph(num_vertices_, edges);
+    EclOptions eopts;
+    eopts.num_threads = opts_.num_threads;
+    snap->labels = ecl_cc_omp(g, eopts);
+  }
+  snap->num_components = count_labels(snap->labels);
+  snap->build_ms = t.millis();
+
+  span.arg("epoch", snap->epoch);
+  span.arg("watermark", snap->watermark);
+  span.arg("components", static_cast<std::uint64_t>(snap->num_components));
+  snapshot_.store(snap, std::memory_order_release);
+
+  ECL_OBS_COUNTER_ADD("ecl.svc.compactions", 1);
+  ECL_OBS_GAUGE_SET("ecl.svc.epoch", static_cast<double>(snap->epoch));
+  ECL_OBS_GAUGE_SET("ecl.svc.staleness_edges",
+                    static_cast<double>(applied_edges_.load(std::memory_order_acquire) -
+                                        snap->watermark));
+  ECL_OBS_HISTOGRAM_RECORD("ecl.svc.compact_ms",
+                           ::ecl::obs::Histogram::pow2_bounds(16),
+                           static_cast<std::uint64_t>(snap->build_ms));
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+  }
+  compact_cv_.notify_all();
+}
+
+void ConnectivityService::flush() {
+  const std::uint64_t target = accepted_batches_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> lock(progress_mu_);
+  progress_cv_.wait(lock, [&] {
+    return applied_batches_.load(std::memory_order_acquire) >= target;
+  });
+}
+
+std::uint64_t ConnectivityService::compact_now() {
+  flush();
+  const std::uint64_t target = applied_edges_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    force_watermark_ = std::max(force_watermark_, target);
+  }
+  compact_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(progress_mu_);
+  compact_cv_.wait(lock, [&] {
+    return snapshot_.load(std::memory_order_acquire)->watermark >= target ||
+           stopped_.load(std::memory_order_acquire);
+  });
+  return snapshot_.load(std::memory_order_acquire)->epoch;
+}
+
+void ConnectivityService::stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) {
+    // Another caller (or the destructor after an explicit stop()) already
+    // shut the service down; threads are joined at most once.
+    if (ingest_thread_.joinable()) ingest_thread_.join();
+    if (compact_thread_.joinable()) compact_thread_.join();
+    return;
+  }
+  queue_.close();
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    stopping_ = true;
+  }
+  compact_cv_.notify_all();
+  if (compact_thread_.joinable()) compact_thread_.join();
+  progress_cv_.notify_all();
+  compact_cv_.notify_all();
+}
+
+bool ConnectivityService::connected(vertex_t u, vertex_t v, ReadMode mode) {
+  if (u >= num_vertices_ || v >= num_vertices_) return false;
+  ECL_OBS_COUNTER_ADD("ecl.svc.reads.connected", 1);
+  if (mode == ReadMode::kFresh) return live_.connected(u, v);
+  const auto snap = snapshot_.load(std::memory_order_acquire);
+  return snap->connected(u, v);
+}
+
+vertex_t ConnectivityService::component_of(vertex_t v, ReadMode mode) {
+  if (v >= num_vertices_) return kInvalidVertex;
+  ECL_OBS_COUNTER_ADD("ecl.svc.reads.component_of", 1);
+  if (mode == ReadMode::kFresh) return live_.component_of(v);
+  const auto snap = snapshot_.load(std::memory_order_acquire);
+  return snap->labels[v];
+}
+
+vertex_t ConnectivityService::component_count() const {
+  return snapshot_.load(std::memory_order_acquire)->num_components;
+}
+
+SnapshotPtr ConnectivityService::snapshot() const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+ServiceStats ConnectivityService::stats() const {
+  const auto snap = snapshot_.load(std::memory_order_acquire);
+  ServiceStats s;
+  s.epoch = snap->epoch;
+  s.watermark = snap->watermark;
+  s.applied_edges = applied_edges_.load(std::memory_order_acquire);
+  s.accepted_batches = accepted_batches_.load(std::memory_order_relaxed);
+  s.applied_batches = applied_batches_.load(std::memory_order_relaxed);
+  s.shed_batches = shed_batches_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.size();
+  s.num_components = snap->num_components;
+  s.num_vertices = num_vertices_;
+  return s;
+}
+
+}  // namespace ecl::svc

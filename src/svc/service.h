@@ -1,0 +1,183 @@
+// ConnectivityService — the transport-agnostic core of the batched
+// connectivity query service (docs/SERVICE.md).
+//
+// The design is the static/incremental split that streaming-connectivity
+// systems converge on (Hong, Dhulipala & Shun, arXiv:2008.11839), built
+// from the two halves this repo already has:
+//
+//   writer side   Edge batches are admitted through a bounded queue
+//                 (explicit shed on overflow — see svc/queue.h) and applied
+//                 by a single ingest worker to the lock-free IncrementalCC
+//                 union-find plus an append-only edge log.
+//
+//   reader side   Queries are answered against an immutable epoch Snapshot:
+//                 a canonical label array produced by running the batch
+//                 ECL-CC engine (ecl_cc_omp) over the logged edges. A
+//                 background compaction thread rebuilds and atomically
+//                 swaps the snapshot; readers take one atomic shared_ptr
+//                 load and never block writers (double buffering falls out
+//                 of shared_ptr lifetime: the old epoch stays alive until
+//                 its last reader drops it).
+//
+// Two read modes are exposed: kSnapshot (stale but epoch-consistent, pure
+// array reads, no synchronization with writers) and kFresh (reads the live
+// union-find — sees edges the moment the worker applies them, at the cost
+// of pointer chasing against concurrent hooks).
+//
+// Everything is observable through ecl::obs: ingest/shed counters, queue
+// depth and epoch-staleness gauges, batch-apply and compaction latency
+// histograms, and trace spans per batch and per compaction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "core/incremental.h"
+#include "graph/graph.h"
+#include "svc/queue.h"
+#include "svc/snapshot.h"
+
+namespace ecl::svc {
+
+struct ServiceOptions {
+  /// Maximum number of *batches* admitted but not yet applied. A full queue
+  /// sheds (Admission::kShed) instead of blocking.
+  std::size_t queue_capacity = 64;
+  /// Background compaction wakes at this period to check for new edges.
+  int compact_interval_ms = 20;
+  /// Skip a compaction cycle unless at least this many edges arrived since
+  /// the published snapshot's watermark (forced compactions ignore it).
+  std::uint64_t compact_min_new_edges = 1;
+  /// OpenMP threads for the compaction's ECL-CC run; 0 = runtime default.
+  int num_threads = 0;
+  /// Test hook: artificial delay (microseconds) per applied batch, to make
+  /// backpressure reproducible in unit tests. 0 in production.
+  int ingest_delay_us = 0;
+};
+
+/// Which consistency a read wants (docs/SERVICE.md "Consistency model").
+enum class ReadMode : std::uint8_t {
+  kSnapshot = 0,  // epoch-consistent, possibly stale
+  kFresh = 1,     // sees applied edges immediately; not epoch-consistent
+};
+
+/// One service-wide state sample, for the stats RPC and tests.
+struct ServiceStats {
+  std::uint64_t epoch = 0;
+  std::uint64_t watermark = 0;        // edges reflected by the snapshot
+  std::uint64_t applied_edges = 0;    // edges applied to the live structure
+  std::uint64_t accepted_batches = 0;
+  std::uint64_t applied_batches = 0;
+  std::uint64_t shed_batches = 0;
+  std::uint64_t queue_depth = 0;
+  vertex_t num_components = 0;        // of the published snapshot
+  vertex_t num_vertices = 0;
+};
+
+class ConnectivityService {
+ public:
+  using EdgeBatch = std::vector<Edge>;
+
+  /// A universe of n vertices, all singletons; snapshot epoch 0 is
+  /// published (synchronously) before the constructor returns.
+  explicit ConnectivityService(vertex_t n, ServiceOptions opts = {});
+
+  /// Seeds the service with an existing graph: the seed's edges count as
+  /// applied (watermark > 0) and epoch 0 reflects its components.
+  explicit ConnectivityService(const Graph& seed, ServiceOptions opts = {});
+
+  /// Drains and stops (see stop()).
+  ~ConnectivityService();
+
+  ConnectivityService(const ConnectivityService&) = delete;
+  ConnectivityService& operator=(const ConnectivityService&) = delete;
+
+  // --- writer side ---------------------------------------------------------
+
+  /// Admits a batch of undirected edges. kAccepted means the batch *will*
+  /// be applied (even if stop() is called right after); kShed means the
+  /// queue was full and the caller should retry later; kClosed means the
+  /// service is draining. Edges with endpoints >= num_vertices() are
+  /// dropped at apply time (counted in ecl.svc.ingest.invalid_edges).
+  [[nodiscard]] Admission submit(EdgeBatch batch);
+
+  /// Blocks until every batch accepted so far has been applied to the live
+  /// structure (not necessarily compacted into a snapshot).
+  void flush();
+
+  /// flush(), then forces a compaction whose watermark covers every edge
+  /// applied at call time, and waits for it. Returns the new epoch.
+  std::uint64_t compact_now();
+
+  /// Graceful drain-and-shutdown: refuses new batches, applies everything
+  /// already admitted, runs a final compaction (so the last snapshot
+  /// reflects all accepted edges), and joins both background threads.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  // --- reader side ---------------------------------------------------------
+
+  /// True if u and v are connected. kSnapshot answers from the published
+  /// epoch; kFresh consults the live union-find. Out-of-range vertices
+  /// return false.
+  [[nodiscard]] bool connected(vertex_t u, vertex_t v, ReadMode mode = ReadMode::kSnapshot);
+
+  /// Component representative of v. Under kSnapshot this is the canonical
+  /// (minimum-ID) label; under kFresh it is the current DSU representative,
+  /// which is *not* canonical until the next compaction. kInvalidVertex if
+  /// v is out of range.
+  [[nodiscard]] vertex_t component_of(vertex_t v, ReadMode mode = ReadMode::kSnapshot);
+
+  /// Component count of the published snapshot.
+  [[nodiscard]] vertex_t component_count() const;
+
+  /// The current snapshot (never null after construction). Holding the
+  /// returned pointer pins that epoch; queries against it are wait-free.
+  [[nodiscard]] SnapshotPtr snapshot() const;
+
+  [[nodiscard]] vertex_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  void start_threads();
+  void ingest_loop();
+  void compact_loop();
+  /// Builds and publishes a snapshot covering the log's current contents.
+  void run_compaction();
+
+  const vertex_t num_vertices_;
+  const ServiceOptions opts_;
+
+  IncrementalCC live_;
+  BoundedQueue<EdgeBatch> queue_;
+
+  // Append-only edge log; the compaction thread copies it under log_mu_.
+  std::mutex log_mu_;
+  std::vector<Edge> log_;
+
+  std::atomic<SnapshotPtr> snapshot_;
+
+  // Progress accounting, guarded by progress_mu_ for the cv waits; the
+  // atomics are also read lock-free by stats().
+  std::mutex progress_mu_;
+  std::condition_variable progress_cv_;   // applied_batches_ advanced
+  std::condition_variable compact_cv_;    // compaction wanted / published
+  std::atomic<std::uint64_t> accepted_batches_{0};
+  std::atomic<std::uint64_t> applied_batches_{0};
+  std::atomic<std::uint64_t> shed_batches_{0};
+  std::atomic<std::uint64_t> applied_edges_{0};
+  std::uint64_t force_watermark_ = 0;  // compaction must reach this
+  bool stopping_ = false;
+
+  std::thread ingest_thread_;
+  std::thread compact_thread_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace ecl::svc

@@ -1,6 +1,7 @@
 // Tests for graph file I/O: every supported format round-trips and
 // malformed input is rejected with a clear error.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -18,7 +19,10 @@ namespace {
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "ecl_io_test";
+    // Unique per process: ctest runs each discovered case as its own
+    // process, and a shared directory would race with remove_all below.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ecl_io_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -144,6 +148,110 @@ TEST_F(IoTest, LoadAutoDispatchesOnExtension) {
     out << "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n";
   }
   EXPECT_EQ(load_auto(path("auto.mtx")).num_vertices(), 2u);
+}
+
+// ---------------------------------------------------- writer round trips ----
+
+/// CSR equality: same vertex count, offsets, and adjacency.
+void expect_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.offsets().begin(), a.offsets().end(), b.offsets().begin()));
+  EXPECT_TRUE(
+      std::equal(a.adjacency().begin(), a.adjacency().end(), b.adjacency().begin()));
+}
+
+TEST_F(IoTest, EveryFormatPairRoundTrips) {
+  // A graph with multiple components and an isolated vertex: build from
+  // explicit edges so vertex 6 stays isolated.
+  const Graph g = build_graph(7, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {3, 5}});
+  const std::vector<std::string> exts = {"eclg", "gr", "mtx"};
+
+  // Header-carrying formats round-trip exactly, via every format pair:
+  // write g as A, load it, write that as B, load and compare to g.
+  for (const auto& src : exts) {
+    for (const auto& dst : exts) {
+      const std::string a = path("pair_src." + src);
+      const std::string b = path("pair_dst." + dst);
+      save_auto(g, a);
+      save_auto(load_auto(a), b);
+      const Graph back = load_auto(b);
+      SCOPED_TRACE(src + " -> " + dst);
+      expect_identical(back, g);
+    }
+  }
+
+  // The edge list has no vertex-count header: the isolated vertex is lost
+  // and IDs are compacted, but the connectivity structure survives.
+  save_edge_list(g, path("pair.txt"));
+  const Graph from_edges = load_auto(path("pair.txt"));
+  EXPECT_EQ(from_edges.num_vertices(), 6u);  // vertex 6 dropped
+  EXPECT_EQ(from_edges.num_edges(), g.num_edges());
+  EXPECT_EQ(count_components(from_edges), count_components(g) - 1);
+}
+
+TEST_F(IoTest, EmptyGraphRoundTrips) {
+  const Graph g = build_graph(0, {});
+  for (const char* name : {"empty.eclg", "empty.gr", "empty.mtx"}) {
+    SCOPED_TRACE(name);
+    save_auto(g, path(name));
+    const Graph back = load_auto(path(name));
+    EXPECT_EQ(back.num_vertices(), 0u);
+    EXPECT_EQ(back.num_edges(), 0u);
+  }
+  // An empty edge list loads as the empty graph too (no lines, no vertices).
+  save_edge_list(g, path("empty.txt"));
+  const Graph back = load_auto(path("empty.txt"));
+  EXPECT_EQ(back.num_vertices(), 0u);
+  EXPECT_EQ(back.num_edges(), 0u);
+}
+
+TEST_F(IoTest, SingleVertexRoundTrips) {
+  const Graph g = build_graph(1, {});
+  for (const char* name : {"one.eclg", "one.gr", "one.mtx"}) {
+    SCOPED_TRACE(name);
+    save_auto(g, path(name));
+    const Graph back = load_auto(path(name));
+    EXPECT_EQ(back.num_vertices(), 1u);
+    EXPECT_EQ(back.num_edges(), 0u);
+    EXPECT_EQ(count_components(back), 1u);
+  }
+}
+
+TEST_F(IoTest, EdgeListRoundTripPreservesStructure) {
+  // gen_path's sorted edge list appears in identity order, so even ID
+  // compaction is the identity and the round trip is exact.
+  const Graph g = gen_path(50);
+  save_edge_list(g, path("path.txt"));
+  expect_identical(load_auto(path("path.txt")), g);
+
+  // A skewed generated graph keeps its non-singleton component structure;
+  // isolated vertices (which an edge list cannot represent) are dropped.
+  const Graph k = gen_kronecker(8, 8, 5);
+  vertex_t isolated = 0;
+  for (vertex_t v = 0; v < k.num_vertices(); ++v) {
+    if (k.degree(v) == 0) ++isolated;
+  }
+  save_edge_list(k, path("kron.txt"));
+  const Graph back = load_auto(path("kron.txt"));
+  EXPECT_EQ(back.num_vertices(), k.num_vertices() - isolated);
+  EXPECT_EQ(back.num_edges(), k.num_edges());
+  EXPECT_EQ(count_components(back), count_components(k) - isolated);
+}
+
+TEST_F(IoTest, TextWritersEmitLoadableHeaders) {
+  const Graph g = build_graph(3, {{0, 1}});
+  std::ostringstream gr;
+  write_dimacs(g, gr);
+  EXPECT_NE(gr.str().find("p sp 3 1"), std::string::npos);
+  std::ostringstream mtx;
+  write_matrix_market(g, mtx);
+  EXPECT_NE(mtx.str().find("%%MatrixMarket matrix coordinate pattern symmetric"),
+            std::string::npos);
+  EXPECT_NE(mtx.str().find("3 3 1"), std::string::npos);
+  std::ostringstream txt;
+  write_edge_list(g, txt);
+  EXPECT_NE(txt.str().find("1 0"), std::string::npos);  // larger-first order
 }
 
 TEST_F(IoTest, MissingFileThrows) {

@@ -291,6 +291,65 @@ TEST(ObsHistogram, ConcurrentRecordsPreserveCountSumMax) {
   EXPECT_EQ(bucket_total, h.count());
 }
 
+TEST(ObsHistogram, PercentileOfEmptyIsZero) {
+  obs::Histogram h({1, 2, 4});
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(ObsHistogram, PercentileInterpolatesWithinBuckets) {
+  obs::Histogram h({10, 20});
+  for (int i = 0; i < 10; ++i) h.record(5);   // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) h.record(15);  // bucket (10, 20]
+  // The 50th percentile sits exactly at the first bucket's upper edge;
+  // the 75th is halfway through the second bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 15.0);
+  // Estimates never exceed the observed maximum, even at q=1.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 15.0);
+}
+
+TEST(ObsHistogram, PercentilesAreMonotoneAndBounded) {
+  obs::Histogram h(obs::Histogram::pow2_bounds(20));
+  for (std::uint64_t i = 1; i <= 10000; ++i) h.record(i);
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max()));
+  // With pow2 buckets the estimate is within one bucket of the truth.
+  EXPECT_GE(p50, 4096.0);   // true p50 = 5000, bucket (4096, 8192]
+  EXPECT_LE(p50, 8192.0);
+  EXPECT_GE(p99, 8192.0);   // true p99 = 9900, bucket (8192, 16384]
+}
+
+TEST(ObsHistogram, OverflowBucketPercentileUsesObservedMax) {
+  obs::Histogram h({10});
+  h.record(1000);  // lands in the unbounded overflow bucket
+  h.record(2000);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 2000.0);
+  EXPECT_LE(h.percentile(0.5), 2000.0);
+}
+
+TEST(ObsRegistry, SnapshotCarriesPercentiles) {
+  obs::Histogram& h =
+      obs::registry().histogram("test.obs.percentile_snapshot", {10, 20, 40});
+  h.reset();
+  for (int i = 0; i < 100; ++i) h.record(static_cast<std::uint64_t>(i % 40) + 1);
+  bool found = false;
+  for (const auto& m : obs::registry().snapshot()) {
+    if (m.name != "test.obs.percentile_snapshot") continue;
+    found = true;
+    EXPECT_EQ(m.kind, obs::MetricSnapshot::Kind::kHistogram);
+    EXPECT_GT(m.p50, 0.0);
+    EXPECT_LE(m.p50, m.p95);
+    EXPECT_LE(m.p95, m.p99);
+    EXPECT_LE(m.p99, 40.0);
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(ObsRegistry, LookupsReturnSameInstance) {
   obs::Counter& a = obs::registry().counter("test.obs.same_instance");
   obs::Counter& b = obs::registry().counter("test.obs.same_instance");
@@ -481,10 +540,16 @@ TEST(ObsReport, WriteIsValidJsonWithCellsAndMetrics) {
   EXPECT_EQ(report.cell_count(), 2u);
 
   obs::registry().counter("test.report.counter").add(11);
+  obs::registry().histogram("test.report.latency", {10, 100}).record(42);
   std::ostringstream os;
   report.write(os);
   const std::string json = os.str();
   EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Histogram metrics carry tail-latency percentiles in the report.
+  EXPECT_NE(json.find("test.report.latency"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
   EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
   EXPECT_NE(json.find("unit_test_bench"), std::string::npos);
   EXPECT_NE(json.find("graphA"), std::string::npos);

@@ -1,0 +1,170 @@
+// ecl_ccd — the connectivity service daemon.
+//
+// Serves connected(u,v) / component_of(v) / component_count() queries and
+// streaming edge ingest over the ecl::svc binary protocol, on a TCP or
+// Unix-domain socket, against a ConnectivityService (snapshot reads, lock-
+// free ingest, background ECL-CC compaction; see docs/SERVICE.md).
+//
+//   $ ecl_ccd --vertices=100000 --unix=/tmp/ecl.sock
+//   $ ecl_ccd --graph=web.eclg --port=4280
+//   $ ecl_ccd --gen=internet --scale=0.2 --port=0       # ephemeral port
+//
+// Flags:
+//   --vertices=N            empty universe of N vertices (default 1e6)
+//   --graph=FILE            seed from a graph file (any supported format)
+//   --gen=NAME --scale=F    seed from a generated suite graph
+//   --unix=PATH             serve on a Unix-domain socket
+//   --host=A --port=P       serve on TCP (default 127.0.0.1:4280; port 0 =
+//                           ephemeral, printed and written to --ready-file)
+//   --queue-capacity=N      ingest admission queue, in batches (default 64)
+//   --compact-interval-ms=N background compaction cadence (default 20)
+//   --compact-min-edges=N   min new edges before compacting (default 1)
+//   --threads=N             OpenMP threads for compaction (0 = default)
+//   --ready-file=PATH       write "unix <path>" or "tcp <host> <port>" once
+//                           listening (lets scripts wait for startup)
+//   --report=FILE.json      write an obs run report on shutdown
+//   --trace=FILE.json       record trace spans (batches, compactions)
+//   --metrics               print the metrics snapshot on shutdown
+//
+// Shutdown: SIGINT/SIGTERM or a protocol kShutdown message; either way the
+// daemon stops accepting, drains in-flight batches, runs a final compaction
+// and exits 0.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+
+#include "common/cli.h"
+#include "graph/io.h"
+#include "graph/suite.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "svc/server.h"
+#include "svc/service.h"
+
+namespace {
+
+ecl::svc::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();  // async-signal-safe
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ecl;
+  CliArgs args(argc, argv);
+
+  svc::ServiceOptions sopts;
+  sopts.queue_capacity = static_cast<std::size_t>(args.get_int("queue-capacity", 64));
+  sopts.compact_interval_ms = static_cast<int>(args.get_int("compact-interval-ms", 20));
+  sopts.compact_min_new_edges =
+      static_cast<std::uint64_t>(args.get_int("compact-min-edges", 1));
+  sopts.num_threads = static_cast<int>(args.get_int("threads", 0));
+
+  svc::ServerOptions nopts;
+  nopts.unix_path = args.get("unix", "");
+  nopts.host = args.get("host", "127.0.0.1");
+  nopts.port = static_cast<int>(args.get_int("port", 4280));
+
+  const std::string graph_file = args.get("graph", "");
+  const std::string gen = args.get("gen", "");
+  const double scale = args.get_double("scale", 1.0);
+  const auto vertices = static_cast<vertex_t>(args.get_int("vertices", 1000000));
+  const std::string ready_file = args.get("ready-file", "");
+  const std::string report_file = args.get("report", "");
+  const std::string trace_file = args.get("trace", "");
+  const bool print_metrics = args.has("metrics");
+  for (const auto& flag : args.unused()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", flag.c_str());
+  }
+
+  if (!trace_file.empty()) obs::Tracer::instance().start(trace_file);
+
+  std::unique_ptr<svc::ConnectivityService> service;
+  try {
+    if (!graph_file.empty()) {
+      const Graph seed = load_auto(graph_file);
+      std::printf("seeded from %s: %u vertices, %llu directed edges\n",
+                  graph_file.c_str(), seed.num_vertices(),
+                  static_cast<unsigned long long>(seed.num_edges()));
+      service = std::make_unique<svc::ConnectivityService>(seed, sopts);
+    } else if (!gen.empty()) {
+      const Graph seed = make_suite_graph(gen, scale);
+      std::printf("seeded from generated '%s' (scale %.2f): %u vertices\n",
+                  gen.c_str(), scale, seed.num_vertices());
+      service = std::make_unique<svc::ConnectivityService>(seed, sopts);
+    } else {
+      service = std::make_unique<svc::ConnectivityService>(vertices, sopts);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  svc::Server server(*service, nopts);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "error: cannot start server: %s\n", err.c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  if (!nopts.unix_path.empty()) {
+    std::printf("listening on unix socket %s\n", nopts.unix_path.c_str());
+  } else {
+    std::printf("listening on %s:%d\n", nopts.host.c_str(), server.port());
+  }
+  std::fflush(stdout);
+  if (!ready_file.empty()) {
+    std::ofstream ready(ready_file);
+    if (!nopts.unix_path.empty()) {
+      ready << "unix " << nopts.unix_path << "\n";
+    } else {
+      ready << "tcp " << nopts.host << " " << server.port() << "\n";
+    }
+  }
+
+  server.wait();          // until signal or kShutdown request
+  server.stop();
+  service->stop();        // drain in-flight batches + final compaction
+
+  const auto stats = service->stats();
+  std::printf(
+      "shutdown: served %llu requests; epoch %llu, %llu edges applied, "
+      "%llu batches shed, %u components\n",
+      static_cast<unsigned long long>(server.requests_served()),
+      static_cast<unsigned long long>(stats.epoch),
+      static_cast<unsigned long long>(stats.applied_edges),
+      static_cast<unsigned long long>(stats.shed_batches),
+      stats.num_components);
+
+  if (!report_file.empty()) {
+    obs::run_report().set_bench_name("ecl_ccd");
+    obs::run_report().add_cell("service", "lifetime",
+                               {static_cast<double>(server.requests_served())});
+    if (!obs::run_report().write_file(report_file)) {
+      std::fprintf(stderr, "error: cannot write report to %s\n", report_file.c_str());
+      return 1;
+    }
+  }
+  if (print_metrics) {
+    for (const auto& m : obs::registry().snapshot()) {
+      if (m.kind == obs::MetricSnapshot::Kind::kHistogram) {
+        std::printf("%-36s count=%llu avg=%.1f p50=%.1f p95=%.1f p99=%.1f\n",
+                    m.name.c_str(), static_cast<unsigned long long>(m.count), m.value,
+                    m.p50, m.p95, m.p99);
+      } else if (m.kind == obs::MetricSnapshot::Kind::kCounter) {
+        std::printf("%-36s %llu\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.count));
+      } else {
+        std::printf("%-36s %.2f\n", m.name.c_str(), m.value);
+      }
+    }
+  }
+  if (!trace_file.empty()) obs::Tracer::instance().stop();
+  return 0;
+}

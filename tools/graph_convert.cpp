@@ -2,11 +2,16 @@
 // (§4: "we changed the code that reads in the input graph or wrote graph
 // converters such that all programs could be run with the same inputs").
 //
-//   $ graph_convert <input> <output.eclg>       # any format -> ECL binary
-//   $ graph_convert <input> <output> --edges    # any format -> edge list
+//   $ graph_convert <input> <output.eclg>           # output format from
+//   $ graph_convert <input> <output.gr>             # the file extension
+//   $ graph_convert <input> <out> --format=mtx      # or forced explicitly
+//   $ graph_convert <input> <output> --edges        # alias for --format=edges
 //   $ graph_convert --gen=<suite name> <output.eclg> [--scale=F]
+//
+// Formats: eclg (binary CSR), edges (SNAP edge list), gr (DIMACS), mtx
+// (MatrixMarket). Without --format, the output extension decides (unknown
+// extensions -> edge list).
 #include <cstdio>
-#include <fstream>
 
 #include "common/cli.h"
 #include "graph/io.h"
@@ -17,11 +22,13 @@ int main(int argc, char** argv) {
   using namespace ecl;
   CliArgs args(argc, argv);
   const std::string gen = args.get("gen", "");
+  std::string format = args.get("format", "");
+  if (args.has("edges")) format = "edges";  // historical spelling
   const std::size_t needed_positional = gen.empty() ? 2 : 1;
   if (args.positional().size() != needed_positional) {
     std::fprintf(stderr,
-                 "usage: graph_convert <input> <output.eclg> [--edges]\n"
-                 "       graph_convert --gen=<suite name> <output.eclg> [--scale=F]\n");
+                 "usage: graph_convert <input> <output> [--format=eclg|edges|gr|mtx]\n"
+                 "       graph_convert --gen=<suite name> <output> [--scale=F]\n");
     return 2;
   }
 
@@ -36,18 +43,19 @@ int main(int argc, char** argv) {
       output = args.positional()[1];
     }
 
-    if (args.has("edges")) {
-      std::ofstream out(output);
-      if (!out) throw std::runtime_error("cannot write " + output);
-      out << "# " << g.num_vertices() << " vertices, " << g.num_edges()
-          << " directed edges\n";
-      for (vertex_t v = 0; v < g.num_vertices(); ++v) {
-        for (const vertex_t u : g.neighbors(v)) {
-          if (u <= v) out << v << ' ' << u << '\n';
-        }
-      }
-    } else {
+    if (format.empty()) {
+      save_auto(g, output);
+    } else if (format == "eclg") {
       save_binary(g, output);
+    } else if (format == "edges") {
+      save_edge_list(g, output);
+    } else if (format == "gr") {
+      save_dimacs(g, output);
+    } else if (format == "mtx") {
+      save_matrix_market(g, output);
+    } else {
+      std::fprintf(stderr, "error: unknown --format=%s\n", format.c_str());
+      return 2;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
