@@ -42,6 +42,10 @@ bool Client::ping() {
 }
 
 Status Client::ingest(const std::vector<Edge>& edges) {
+  // Oversized batches would exceed kMaxFrameBytes; the server answers those
+  // by dropping the connection, which the caller would only see as kError.
+  // Fail definitively here instead, before touching the socket.
+  if (edges.size() > kMaxIngestEdges) return Status::kInvalid;
   Request req;
   req.type = MsgType::kIngest;
   req.edges = edges;

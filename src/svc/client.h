@@ -35,6 +35,8 @@ class Client {
 
   /// Submits an edge batch; the returned status is the server's admission
   /// verdict (kOk / kShed / kClosed), or kError on transport failure.
+  /// Batches larger than kMaxIngestEdges (one frame's worth) come back as
+  /// kInvalid without touching the socket — split them before calling.
   [[nodiscard]] Status ingest(const std::vector<Edge>& edges);
 
   /// Connectivity query. Transport/protocol failures surface as kError in

@@ -46,6 +46,8 @@ class Reader {
 
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
 
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
  private:
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
@@ -157,6 +159,9 @@ bool decode_request(std::span<const std::uint8_t> payload, Request& req) {
     case MsgType::kIngest: {
       std::uint32_t count = 0;
       if (!r.u32(count)) return false;
+      // count is attacker-controlled: a tiny frame claiming 2^32-1 edges
+      // must fail here, before reserve() attempts a ~32 GiB allocation.
+      if (count > r.remaining() / 8) return false;
       req.edges.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
         std::uint32_t u = 0;

@@ -70,6 +70,12 @@ enum class Status : std::uint8_t {
 /// from hostile or corrupt length prefixes).
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 26;  // 64 MiB
 
+/// Largest edge batch one kIngest frame can carry while its payload
+/// (u8 type + u64 id + u32 count + 8 bytes/edge) stays under kMaxFrameBytes.
+/// Client::ingest rejects bigger batches with kInvalid instead of sending a
+/// frame the server would answer by dropping the connection.
+inline constexpr std::size_t kMaxIngestEdges = (kMaxFrameBytes - 13) / 8;
+
 struct Request {
   MsgType type = MsgType::kPing;
   std::uint64_t id = 0;

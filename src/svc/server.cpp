@@ -84,8 +84,34 @@ void Server::request_shutdown() {
   }
 }
 
+void Server::reap_finished() {
+  // Splice finished handlers out under the lock, join outside it: a handler's
+  // last act before setting done is to take conns_mu_ and close its fd, so
+  // joining while holding the lock could deadlock against it.
+  std::list<Connection> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      const auto next = std::next(it);
+      if (it->done.load(std::memory_order_acquire)) {
+        finished.splice(finished.end(), conns_, it);
+      }
+      it = next;
+    }
+  }
+  for (Connection& c : finished) {
+    if (c.thread.joinable()) c.thread.join();
+  }
+}
+
+std::size_t Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
 void Server::accept_loop() {
   while (!shutdown_requested_.load(std::memory_order_acquire)) {
+    reap_finished();
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
     const int ready = ::poll(fds, 2, 200);
     if (ready < 0) {
@@ -141,7 +167,17 @@ void Server::handle_connection(Connection* conn) {
   while (net::read_frame(fd, payload)) {
     Timer t;
     Response resp;
-    if (!decode_request(payload, req)) {
+    bool decoded = false;
+    try {
+      decoded = decode_request(payload, req);
+      if (decoded) resp = dispatch(req);
+    } catch (...) {
+      // One bad request (e.g. an allocation failure while decoding) must
+      // never escape the handler thread and terminate the daemon.
+      ECL_OBS_COUNTER_ADD("ecl.svc.server.handler_errors", 1);
+      break;  // drop the connection
+    }
+    if (!decoded) {
       resp.status = Status::kInvalid;
       ECL_OBS_COUNTER_ADD("ecl.svc.server.malformed", 1);
       reply.clear();
@@ -149,7 +185,6 @@ void Server::handle_connection(Connection* conn) {
       (void)net::write_frame(fd, reply);
       break;  // framing is untrustworthy now; drop the connection
     }
-    resp = dispatch(req);
     reply.clear();
     encode_response(resp, reply);
     if (!net::write_frame(fd, reply)) break;
@@ -160,11 +195,14 @@ void Server::handle_connection(Connection* conn) {
       break;
     }
   }
-  // The accept loop owns the final close; just mark the fd dead so the
-  // shutdown path does not shut down a recycled descriptor.
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  ::close(conn->fd);
-  conn->fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  // Last act: hand the Connection to the accept loop's reaper, which joins
+  // this thread and frees the node. Nothing may touch *conn after this.
+  conn->done.store(true, std::memory_order_release);
 }
 
 Response Server::dispatch(const Request& req) {

@@ -68,14 +68,22 @@ class Server {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
+  /// Connections currently tracked (handlers not yet reaped). Finished
+  /// handlers are joined and dropped by the accept loop, so a long-running
+  /// daemon serving short-lived connections does not accumulate threads.
+  [[nodiscard]] std::size_t active_connections() const;
+
  private:
   struct Connection {
     int fd = -1;        // -1 once the handler has finished with it
     std::thread thread;
+    std::atomic<bool> done{false};  // handler exited; safe to join + erase
   };
 
   void accept_loop();
   void handle_connection(Connection* conn);
+  /// Joins and discards every connection whose handler has finished.
+  void reap_finished();
   Response dispatch(const Request& req);
 
   ConnectivityService& service_;
@@ -88,7 +96,7 @@ class Server {
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> started_{false};
 
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::list<Connection> conns_;
 
   std::mutex done_mu_;

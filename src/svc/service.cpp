@@ -109,8 +109,12 @@ void ConnectivityService::ingest_loop() {
     {
       std::lock_guard<std::mutex> lock(log_mu_);
       log_.insert(log_.end(), batch.begin(), batch.end());
+      // Incremented inside log_mu_ so a compaction (which takes its
+      // watermark from the log size under the same lock) can never observe
+      // watermark > applied_edges_ — the unsigned staleness arithmetic
+      // depends on applied >= watermark.
+      applied_edges_.fetch_add(batch.size(), std::memory_order_release);
     }
-    applied_edges_.fetch_add(batch.size(), std::memory_order_release);
     ECL_OBS_COUNTER_ADD("ecl.svc.ingest.edges", batch.size());
     ECL_OBS_HISTOGRAM_RECORD("ecl.svc.batch_apply_us",
                              ::ecl::obs::Histogram::pow2_bounds(22),
@@ -137,7 +141,8 @@ void ConnectivityService::compact_loop() {
         const auto snap = snapshot_.load(std::memory_order_acquire);
         const std::uint64_t applied = applied_edges_.load(std::memory_order_acquire);
         return stopping_ || force_watermark_ > snap->watermark ||
-               applied - snap->watermark >= opts_.compact_min_new_edges;
+               (applied > snap->watermark &&
+                applied - snap->watermark >= opts_.compact_min_new_edges);
       });
       exiting = stopping_;
     }
@@ -186,9 +191,10 @@ void ConnectivityService::run_compaction() {
 
   ECL_OBS_COUNTER_ADD("ecl.svc.compactions", 1);
   ECL_OBS_GAUGE_SET("ecl.svc.epoch", static_cast<double>(snap->epoch));
+  const std::uint64_t applied_now = applied_edges_.load(std::memory_order_acquire);
   ECL_OBS_GAUGE_SET("ecl.svc.staleness_edges",
-                    static_cast<double>(applied_edges_.load(std::memory_order_acquire) -
-                                        snap->watermark));
+                    static_cast<double>(
+                        applied_now > snap->watermark ? applied_now - snap->watermark : 0));
   ECL_OBS_HISTOGRAM_RECORD("ecl.svc.compact_ms",
                            ::ecl::obs::Histogram::pow2_bounds(16),
                            static_cast<std::uint64_t>(snap->build_ms));
@@ -223,13 +229,13 @@ std::uint64_t ConnectivityService::compact_now() {
 }
 
 void ConnectivityService::stop() {
-  if (stopped_.exchange(true, std::memory_order_acq_rel)) {
-    // Another caller (or the destructor after an explicit stop()) already
-    // shut the service down; threads are joined at most once.
-    if (ingest_thread_.joinable()) ingest_thread_.join();
-    if (compact_thread_.joinable()) compact_thread_.join();
-    return;
-  }
+  // Serializes concurrent stop() calls (and the destructor after an explicit
+  // stop()): exactly one caller joins the threads, and later/losing callers
+  // block here until the drain has fully completed — concurrent join() on
+  // one std::thread would be a data race.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_.load(std::memory_order_acquire)) return;
+  stopped_.store(true, std::memory_order_release);
   queue_.close();
   if (ingest_thread_.joinable()) ingest_thread_.join();
   {

@@ -177,6 +177,7 @@ class ConnectivityService {
 
   std::thread ingest_thread_;
   std::thread compact_thread_;
+  std::mutex stop_mu_;  // serializes stop(): only one caller touches the threads
   std::atomic<bool> stopped_{false};
 };
 

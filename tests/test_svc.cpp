@@ -14,6 +14,7 @@
 
 #include "graph/builder.h"
 #include "svc/client.h"
+#include "svc/net.h"
 #include "svc/protocol.h"
 #include "svc/queue.h"
 #include "svc/server.h"
@@ -205,6 +206,18 @@ TEST(ConnectivityService, StopIsIdempotent) {
   EXPECT_EQ(svc.submit({{0, 1}}), Admission::kClosed);
 }
 
+TEST(ConnectivityService, ConcurrentStopIsSafe) {
+  ConnectivityService svc(16);
+  ASSERT_EQ(svc.submit({{0, 1}}), Admission::kAccepted);
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) stoppers.emplace_back([&] { svc.stop(); });
+  for (auto& t : stoppers) t.join();
+  EXPECT_EQ(svc.submit({{1, 2}}), Admission::kClosed);
+  // Every stop() call — winner or not — returns only after the full drain,
+  // so the accepted edge is visible in the final snapshot.
+  EXPECT_TRUE(svc.connected(0, 1));
+}
+
 // Linearizability smoke: connectivity only ever grows (we never delete
 // edges), so once any reader observes connected(u,v) == true, every later
 // read in any mode must agree. Writers and readers run concurrently while
@@ -379,6 +392,26 @@ TEST(Protocol, RejectsMalformedPayloads) {
   EXPECT_FALSE(decode_request(bad_mode, req));
 }
 
+TEST(Protocol, RejectsIngestCountBeyondPayload) {
+  // A 17-byte payload claiming 2^32-1 edges must fail up front — not
+  // attempt a ~32 GiB reserve() and take the process down with bad_alloc.
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kIngest));
+  for (int i = 0; i < 8; ++i) payload.push_back(0);     // request id
+  for (int i = 0; i < 4; ++i) payload.push_back(0xff);  // count = 0xffffffff
+  Request req;
+  EXPECT_FALSE(decode_request(payload, req));
+
+  // One edge short of the claim fails too; the exact claim decodes.
+  payload[9] = 2;  // count = 2 (little-endian)
+  for (int i = 10; i < 13; ++i) payload[i] = 0;
+  for (int i = 0; i < 8; ++i) payload.push_back(0);  // one edge, not two
+  EXPECT_FALSE(decode_request(payload, req));
+  for (int i = 0; i < 8; ++i) payload.push_back(0);
+  EXPECT_TRUE(decode_request(payload, req));
+  EXPECT_EQ(req.edges.size(), 2u);
+}
+
 // ------------------------------------------------------- socket round trip ----
 
 class SvcSocketTest : public ::testing::Test {
@@ -489,6 +522,56 @@ TEST_F(SvcSocketTest, MalformedFrameGetsInvalidResponse) {
   auto client2 = Client::connect_unix(unix_path_, &err);
   ASSERT_NE(client2, nullptr) << err;
   EXPECT_TRUE(client2->ping());
+}
+
+TEST_F(SvcSocketTest, HostileIngestCountDoesNotKillServer) {
+  std::string err;
+  const int fd = net::connect_unix(unix_path_, &err);
+  ASSERT_GE(fd, 0) << err;
+  // A well-framed 13-byte kIngest payload claiming 2^32-1 edges: the server
+  // must answer kInvalid and survive, not die in a ~32 GiB reserve().
+  std::vector<std::uint8_t> frame = {13, 0, 0, 0,  // payload length
+                                     static_cast<std::uint8_t>(MsgType::kIngest)};
+  for (int i = 0; i < 8; ++i) frame.push_back(0);     // request id
+  for (int i = 0; i < 4; ++i) frame.push_back(0xff);  // edge count
+  ASSERT_TRUE(net::write_frame(fd, frame));
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(net::read_frame(fd, payload));
+  Response resp;
+  ASSERT_TRUE(decode_response(payload, resp));
+  EXPECT_EQ(resp.status, Status::kInvalid);
+  ::close(fd);
+
+  // The daemon is still serving.
+  auto client = Client::connect_unix(unix_path_, &err);
+  ASSERT_NE(client, nullptr) << err;
+  EXPECT_TRUE(client->ping());
+}
+
+TEST_F(SvcSocketTest, OversizedIngestBatchRejectedClientSide) {
+  std::string err;
+  auto client = Client::connect_unix(unix_path_, &err);
+  ASSERT_NE(client, nullptr) << err;
+  const std::vector<Edge> too_big(kMaxIngestEdges + 1, {0, 1});
+  EXPECT_EQ(client->ingest(too_big), Status::kInvalid);
+  EXPECT_TRUE(client->ping());  // the connection was never touched
+}
+
+TEST_F(SvcSocketTest, FinishedConnectionsAreReaped) {
+  std::string err;
+  for (int i = 0; i < 8; ++i) {
+    auto client = Client::connect_unix(unix_path_, &err);
+    ASSERT_NE(client, nullptr) << err;
+    EXPECT_TRUE(client->ping());
+  }
+  // The accept loop joins finished handlers on its next wakeups (its poll
+  // timeout is 200ms); a long-running daemon must not accumulate threads.
+  std::size_t live = server_->active_connections();
+  for (int tries = 0; tries < 150 && live > 0; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    live = server_->active_connections();
+  }
+  EXPECT_EQ(live, 0u);
 }
 
 }  // namespace
