@@ -21,12 +21,23 @@
 //   --seed=N             RNG seed (default 1)
 //   --report=FILE.json   obs run report (throughput + latency percentiles)
 //   --shutdown           send a graceful-shutdown request when done
+//   --chaos              survive daemon crashes: never stop on transport
+//                        errors (the client reconnects + retries), use a
+//                        deep retry budget, and keep hammering until the
+//                        duration elapses — pair with --acked-file
+//   --acked-file=FILE    append "u v" lines for every *acked* (kOk) ingest
+//                        batch, flushed per batch; the chaos harness checks
+//                        each of these edges is connected after a crash +
+//                        WAL-replay restart
+//   --retries=N          client retry budget per op (default 4; 20 in chaos)
+//   --op-timeout-ms=N    per-attempt socket deadline (default 10000)
 //
 // Exit codes: 0 success, 1 connect/usage failure, 2 every op failed.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
@@ -48,6 +59,8 @@ struct WorkerResult {
   std::uint64_t shed = 0;
   std::uint64_t errors = 0;
   std::uint64_t edges_sent = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
   double wall_ms = 0.0;
 };
 
@@ -63,17 +76,36 @@ struct LoadConfig {
   svc::ReadMode mode = svc::ReadMode::kSnapshot;
   std::uint64_t seed = 1;
   vertex_t num_vertices = 0;
+  bool chaos = false;
+  svc::ClientOptions copts;
 };
 
-std::unique_ptr<svc::Client> connect(const LoadConfig& cfg, std::string* err) {
-  return cfg.unix_path.empty() ? svc::Client::connect_tcp(cfg.host, cfg.port, err)
-                               : svc::Client::connect_unix(cfg.unix_path, err);
+/// Shared sink for --acked-file: every kOk ingest batch is appended and
+/// flushed under the lock, so after a daemon crash the file holds exactly
+/// the edges whose durability the server acknowledged.
+std::FILE* g_acked_file = nullptr;
+std::mutex g_acked_mu;
+
+void record_acked(const std::vector<Edge>& batch) {
+  if (g_acked_file == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_acked_mu);
+  for (const auto& [u, v] : batch) std::fprintf(g_acked_file, "%u %u\n", u, v);
+  std::fflush(g_acked_file);
+}
+
+std::unique_ptr<svc::Client> connect(const LoadConfig& cfg, std::string* err,
+                                     int tid = 0) {
+  svc::ClientOptions copts = cfg.copts;
+  copts.backoff_seed = cfg.seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(tid);
+  return cfg.unix_path.empty()
+             ? svc::Client::connect_tcp(cfg.host, cfg.port, err, copts)
+             : svc::Client::connect_unix(cfg.unix_path, err, copts);
 }
 
 void worker(const LoadConfig& cfg, int tid, obs::Histogram& query_us,
             obs::Histogram& ingest_us, WorkerResult& out) {
   std::string err;
-  auto client = connect(cfg, &err);
+  auto client = connect(cfg, &err, tid);
   if (!client) {
     std::fprintf(stderr, "worker %d: connect failed: %s\n", tid, err.c_str());
     out.errors = 1;
@@ -114,11 +146,15 @@ void worker(const LoadConfig& cfg, int tid, obs::Histogram& query_us,
       if (st == svc::Status::kOk) {
         ++out.ingests;
         out.edges_sent += batch.size();
+        record_acked(batch);
       } else if (st == svc::Status::kShed) {
         ++out.shed;
       } else {
         ++out.errors;
-        if (st == svc::Status::kError) break;  // transport gone
+        // Chaos mode rides through daemon crashes: the client's reconnect +
+        // retry policy re-establishes the connection once the daemon is
+        // back, so a transport error is just another sample, not the end.
+        if (st == svc::Status::kError && !cfg.chaos) break;
       }
     } else {
       svc::Status st = svc::Status::kOk;
@@ -129,11 +165,13 @@ void worker(const LoadConfig& cfg, int tid, obs::Histogram& query_us,
         ++out.queries;
       } else {
         ++out.errors;
-        if (st == svc::Status::kError) break;
+        if (st == svc::Status::kError && !cfg.chaos) break;
       }
     }
   }
   out.wall_ms = wall.millis();
+  out.retries = client->retries();
+  out.reconnects = client->reconnects();
 }
 
 }  // namespace
@@ -155,6 +193,12 @@ int main(int argc, char** argv) {
   cfg.mode = mode_name == "fresh" ? svc::ReadMode::kFresh : svc::ReadMode::kSnapshot;
   const std::string report_file = args.get("report", "");
   const bool send_shutdown = args.has("shutdown");
+  cfg.chaos = args.has("chaos");
+  cfg.copts.max_retries =
+      static_cast<int>(args.get_int("retries", cfg.chaos ? 20 : 4));
+  cfg.copts.op_timeout_ms = static_cast<int>(args.get_int("op-timeout-ms", 10000));
+  if (cfg.chaos) cfg.copts.backoff_max_ms = 500;  // recover fast after restart
+  const std::string acked_path = args.get("acked-file", "");
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", flag.c_str());
   }
@@ -165,6 +209,13 @@ int main(int argc, char** argv) {
   if (cfg.threads < 1 || cfg.batch < 1) {
     std::fprintf(stderr, "error: --threads and --batch must be >= 1\n");
     return 1;
+  }
+  if (!acked_path.empty()) {
+    g_acked_file = std::fopen(acked_path.c_str(), "w");
+    if (g_acked_file == nullptr) {
+      std::fprintf(stderr, "error: cannot open --acked-file=%s\n", acked_path.c_str());
+      return 1;
+    }
   }
 
   // Probe the daemon and learn the vertex universe for random edge/query IDs.
@@ -209,6 +260,8 @@ int main(int argc, char** argv) {
     total.shed += r.shed;
     total.errors += r.errors;
     total.edges_sent += r.edges_sent;
+    total.retries += r.retries;
+    total.reconnects += r.reconnects;
     if (r.wall_ms > 0.0) per_thread_ms.push_back(r.wall_ms);
   }
   const std::uint64_t ops = total.queries + total.ingests;
@@ -230,6 +283,15 @@ int main(int argc, char** argv) {
   std::printf("ingest latency us: p50=%.1f p95=%.1f p99=%.1f\n",
               ingest_us.percentile(0.50), ingest_us.percentile(0.95),
               ingest_us.percentile(0.99));
+  if (total.retries > 0 || total.reconnects > 0) {
+    std::printf("resilience: %llu retries, %llu reconnects\n",
+                static_cast<unsigned long long>(total.retries),
+                static_cast<unsigned long long>(total.reconnects));
+  }
+  if (g_acked_file != nullptr) {
+    std::fclose(g_acked_file);
+    g_acked_file = nullptr;
+  }
 
   if (!report_file.empty()) {
     obs::run_report().set_bench_name("svc_loadgen");

@@ -1,0 +1,176 @@
+#!/usr/bin/env bash
+# Chaos harness for the connectivity service (docs/ROBUSTNESS.md):
+#
+#   1. starts ecl_ccd with a write-ahead log and ECL_FAULT-injected socket
+#      read/write failures and delays,
+#   2. hammers it with svc_loadgen --chaos, which records every *acked*
+#      ingest batch to a file (flushed per batch, so the file never claims
+#      more than the daemon acknowledged),
+#   3. SIGKILLs the daemon mid-run — no drain, no fsync-on-exit grace,
+#   4. restarts it on the same WAL and lets the load generator's retry +
+#      reconnect policy ride through the outage,
+#   5. verifies, over the wire, that every edge of every acked batch is
+#      connected in the revived daemon (acked => durable), and
+#   6. shuts down gracefully and checks the daemon never went degraded.
+#
+#   usage: svc_chaos.sh <ecl_ccd> <ecl_cc_client> <svc_loadgen>
+set -euo pipefail
+
+CCD=$1
+CLIENT=$2
+LOADGEN=$3
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ecl_svc_chaos.XXXXXX")
+SOCK="$WORK/ccd.sock"
+WAL="$WORK/edges.wal"
+ACKED="$WORK/acked.txt"
+CCD1_LOG="$WORK/ccd1.log"
+CCD2_LOG="$WORK/ccd2.log"
+LOADGEN_LOG="$WORK/loadgen.log"
+
+cleanup() {
+  for pid in "${CCD_PID:-}" "${LOADGEN_PID:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_ready() {
+  local ready=$1 pid=$2 log=$3
+  for _ in $(seq 1 100); do
+    [[ -f "$ready" ]] && return 0
+    kill -0 "$pid" 2>/dev/null || { echo "daemon died:"; cat "$log"; exit 1; }
+    sleep 0.1
+  done
+  echo "daemon never became ready"; cat "$log"; exit 1
+}
+
+echo "== starting ecl_ccd (run 1) with WAL + injected socket faults"
+# Low-probability read/write failures plus occasional 2 ms read delays on
+# the daemon side: every client sees torn connections and slow responses.
+ECL_FAULT='svc.net.read=fail,prob=0.003,seed=9;svc.net.write=fail,prob=0.003,seed=11;svc.net.read=delay,arg=2000,prob=0.02,seed=7' \
+  "$CCD" --vertices=20000 --unix="$SOCK" --wal="$WAL" --wal-fsync=batch \
+         --ready-file="$WORK/ready1" >"$CCD1_LOG" 2>&1 &
+CCD_PID=$!
+wait_ready "$WORK/ready1" "$CCD_PID" "$CCD1_LOG"
+
+echo "== chaos load (background)"
+"$LOADGEN" --unix="$SOCK" --threads=3 --duration-ms=5000 --batch=32 \
+           --ingest-frac=0.5 --seed=3 --chaos --acked-file="$ACKED" \
+           >"$LOADGEN_LOG" 2>&1 &
+LOADGEN_PID=$!
+
+sleep 1.5
+echo "== SIGKILL mid-run"
+kill -9 "$CCD_PID"
+wait "$CCD_PID" 2>/dev/null || true
+CCD_PID=
+
+sleep 0.3
+echo "== restarting on the same WAL"
+"$CCD" --vertices=20000 --unix="$SOCK" --wal="$WAL" --wal-fsync=batch \
+       --ready-file="$WORK/ready2" >"$CCD2_LOG" 2>&1 &
+CCD_PID=$!
+wait_ready "$WORK/ready2" "$CCD_PID" "$CCD2_LOG"
+grep -q "^wal .*replayed" "$CCD2_LOG" || {
+  echo "restart did not report WAL replay:"; cat "$CCD2_LOG"; exit 1; }
+
+echo "== waiting for the load generator to ride out the outage"
+wait "$LOADGEN_PID"
+LOADGEN_EXIT=$?
+LOADGEN_PID=
+[[ "$LOADGEN_EXIT" -eq 0 ]] || {
+  echo "loadgen exit code $LOADGEN_EXIT:"; cat "$LOADGEN_LOG"; exit 1; }
+grep -E "resilience:" "$LOADGEN_LOG" || true
+[[ -s "$ACKED" ]] || { echo "no acked batches recorded"; exit 1; }
+
+echo "== verifying every acked edge against the revived daemon"
+python3 - "$SOCK" "$ACKED" <<'PYEOF'
+import socket, struct, sys, time
+
+sock_path, acked_path = sys.argv[1], sys.argv[2]
+
+def recv_exact(s, n):
+    buf = b''
+    while len(buf) < n:
+        chunk = s.recv(n - len(buf))
+        if not chunk:
+            raise RuntimeError('daemon closed the connection mid-response')
+        buf += chunk
+    return buf
+
+next_id = 0
+def request(s, rtype, body=b''):
+    global next_id
+    next_id += 1
+    payload = struct.pack('<BQ', rtype, next_id) + body
+    s.sendall(struct.pack('<I', len(payload)) + payload)
+    (n,) = struct.unpack('<I', recv_exact(s, 4))
+    resp = recv_exact(s, n)
+    rt, rid, status = struct.unpack_from('<BQB', resp, 0)
+    assert rid == next_id, f'response id {rid} != request id {next_id}'
+    return status, resp[10:]
+
+edges = []
+with open(acked_path) as f:
+    for line in f:
+        u, v = line.split()
+        edges.append((int(u), int(v)))
+print(f'{len(edges)} acked edges to verify')
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sock_path)
+
+# Drain: batches acked in the loadgen's final moments may still sit in the
+# admission queue; wait for queue_depth == 0 before reading (kStats = 5).
+for _ in range(200):
+    status, body = request(s, 5)
+    assert status == 0, f'stats status {status}'
+    queue_depth = struct.unpack('<9Q', body)[6]
+    if queue_depth == 0:
+        break
+    time.sleep(0.05)
+else:
+    sys.exit('ingest queue never drained after restart')
+
+# kHealth (7): the revived daemon must be fully healthy, with a WAL.
+status, body = request(s, 7)
+assert status == 0, f'health status {status}'
+degraded, worker_alive, wal_enabled, wal_healthy = struct.unpack_from('<4B', body, 0)
+replayed = struct.unpack_from('<Q', body, 4 + 4 * 8)[0]
+assert not degraded, 'daemon is degraded after restart'
+assert worker_alive and wal_enabled and wal_healthy, \
+    f'bad health: worker={worker_alive} wal={wal_enabled}/{wal_healthy}'
+print(f'health ok; {replayed} edges replayed from the WAL')
+assert replayed > 0, 'expected a non-empty WAL replay'
+
+# kConnected (2) in kFresh mode (reads the live union-find, so edges applied
+# after the restart count too). acked => durable: every acked edge must be
+# connected. No sampling — every line in the file is checked.
+lost = 0
+for (u, v) in edges:
+    status, body = request(s, 2, struct.pack('<IIB', u, v, 1))
+    (value,) = struct.unpack('<Q', body)
+    if status != 0 or value != 1:
+        lost += 1
+        if lost <= 5:
+            print(f'LOST acked edge ({u}, {v}): status={status} value={value}')
+if lost:
+    sys.exit(f'{lost} of {len(edges)} acked edges missing after crash recovery')
+print(f'all {len(edges)} acked edges survived the crash')
+PYEOF
+
+echo "== graceful shutdown"
+"$CLIENT" --unix="$SOCK" health
+"$CLIENT" --unix="$SOCK" shutdown
+wait "$CCD_PID"
+CCD_EXIT=$?
+CCD_PID=
+[[ "$CCD_EXIT" -eq 0 ]] || { echo "daemon exit code $CCD_EXIT"; cat "$CCD2_LOG"; exit 1; }
+grep -q "^shutdown:" "$CCD2_LOG" || { echo "no shutdown line:"; cat "$CCD2_LOG"; exit 1; }
+
+echo "svc_chaos: OK"

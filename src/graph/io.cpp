@@ -14,7 +14,22 @@ namespace {
 
 constexpr std::uint64_t kBinaryMagic = 0x45434c4347313041ULL;  // "ECLCG10A"
 
+/// Declared sizes in file headers are attacker-controlled: a 40-byte file
+/// claiming 10^18 edges must not drive a pre-allocation. reserve() at most
+/// this much up front; honest larger inputs just grow geometrically.
+constexpr std::uint64_t kMaxTrustedReserve = 1u << 20;
+
 [[noreturn]] void fail(const std::string& what) { throw std::runtime_error(what); }
+
+/// Validates a declared vertex count before it is narrowed to vertex_t.
+/// kInvalidVertex (2^32-1) is excluded too — it is the sentinel.
+vertex_t checked_vertex_count(std::uint64_t n, const char* format) {
+  if (n >= static_cast<std::uint64_t>(kInvalidVertex)) {
+    fail(std::string(format) + " vertex count overflows 32-bit vertex ids: " +
+         std::to_string(n));
+  }
+  return static_cast<vertex_t>(n);
+}
 
 std::ifstream open_or_throw(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -27,6 +42,7 @@ std::ifstream open_or_throw(const std::string& path) {
 class IdCompactor {
  public:
   vertex_t map(std::uint64_t raw) {
+    if (next_ == kInvalidVertex) fail("edge list has more than 2^32-2 distinct vertex ids");
     const auto [it, inserted] = ids_.try_emplace(raw, next_);
     if (inserted) ++next_;
     return it->second;
@@ -75,8 +91,8 @@ Graph read_dimacs(std::istream& in, const BuildOptions& opts) {
       std::uint64_t nn = 0;
       std::uint64_t mm = 0;
       if (!(ss >> kind >> nn >> mm)) fail("malformed DIMACS problem line: " + line);
-      n = static_cast<vertex_t>(nn);
-      edges.reserve(mm);
+      n = checked_vertex_count(nn, "DIMACS");
+      edges.reserve(static_cast<std::size_t>(std::min(mm, kMaxTrustedReserve)));
       saw_problem = true;
     } else if (tag == 'a' || tag == 'e') {
       if (!saw_problem) fail("DIMACS edge before problem line");
@@ -112,10 +128,10 @@ Graph read_matrix_market(std::istream& in, const BuildOptions& opts) {
   std::uint64_t cols = 0;
   std::uint64_t nnz = 0;
   if (!(size_line >> rows >> cols >> nnz)) fail("malformed MatrixMarket size line");
-  const vertex_t n = static_cast<vertex_t>(std::max(rows, cols));
+  const vertex_t n = checked_vertex_count(std::max(rows, cols), "MatrixMarket");
 
   std::vector<Edge> edges;
-  edges.reserve(nnz);
+  edges.reserve(static_cast<std::size_t>(std::min(nnz, kMaxTrustedReserve)));
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '%') continue;
     std::istringstream ss(line);
@@ -150,6 +166,9 @@ void save_binary(const Graph& g, const std::string& path) {
 
 Graph load_binary(const std::string& path) {
   auto in = open_or_throw(path);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   std::uint64_t magic = 0;
   std::uint64_t n = 0;
   std::uint64_t m = 0;
@@ -157,6 +176,15 @@ Graph load_binary(const std::string& path) {
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
   if (!in || magic != kBinaryMagic) fail("bad binary graph header: " + path);
+  // The header's n and m are untrusted. Check they fit the vertex id space
+  // AND the actual file size before allocating (n+1)*8 + m*4 bytes — a
+  // 24-byte file must not drive a multi-GiB allocation or an n+1 overflow.
+  (void)checked_vertex_count(n, "binary graph");
+  const std::uint64_t body_bytes = 3 * sizeof(std::uint64_t);
+  if (file_size < body_bytes || (n + 1) > (file_size - body_bytes) / sizeof(edge_t) ||
+      m > (file_size - body_bytes - (n + 1) * sizeof(edge_t)) / sizeof(vertex_t)) {
+    fail("binary graph header declares more data than the file holds: " + path);
+  }
   std::vector<edge_t> offsets(n + 1);
   std::vector<vertex_t> adjacency(m);
   in.read(reinterpret_cast<char*>(offsets.data()),

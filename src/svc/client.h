@@ -2,6 +2,24 @@
 // and bench/svc_loadgen. One request in flight per client; not thread-safe
 // (load generators open one client per worker thread, which also gives the
 // kernel one socket per connection to spread accept/wakeup costs).
+//
+// Robustness (docs/ROBUSTNESS.md "Client retry policy"): every operation is
+// bounded by a per-attempt deadline (SO_RCVTIMEO/SO_SNDTIMEO at
+// op_timeout_ms) and, unless retries are disabled, survives transient
+// failure transparently:
+//
+//   kShed             retried after exponential backoff with jitter — the
+//                     server is telling us to come back later.
+//   transport error   the connection is torn down and re-established, then
+//                     the request is retried. Safe for every op in this
+//                     protocol: queries are read-only and edge re-insertion
+//                     into the union-find is idempotent.
+//   kInvalid/kClosed  terminal; returned to the caller immediately.
+//
+// Backoff for attempt k sleeps min(backoff_max_ms, backoff_base_ms << k),
+// scaled by a uniform jitter factor in [0.5, 1.0) drawn from a seeded
+// xoshiro256** stream (deterministic under test). Retries, backoff sleep
+// time, and reconnects are counted in ecl::obs.
 #pragma once
 
 #include <cstdint>
@@ -9,22 +27,39 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
-#include "graph/graph.h"
+#include "svc/net.h"
 #include "svc/protocol.h"
 
 namespace ecl::svc {
+
+struct ClientOptions {
+  /// Bound on establishing (or re-establishing) the connection.
+  int connect_timeout_ms = net::kDefaultConnectTimeoutMs;
+  /// Per-attempt socket deadline for each send/recv of an operation.
+  int op_timeout_ms = 10000;
+  /// Extra attempts after the first (0 disables retries entirely).
+  int max_retries = 4;
+  int backoff_base_ms = 10;
+  int backoff_max_ms = 1000;
+  /// Seed for the jitter stream; fixed default keeps tests deterministic,
+  /// long-lived callers should scramble it (e.g. with their worker index).
+  std::uint64_t backoff_seed = 1;
+};
 
 class Client {
  public:
   /// Connects over TCP (numeric IPv4 host). Null on failure, reason in *err.
   [[nodiscard]] static std::unique_ptr<Client> connect_tcp(const std::string& host,
                                                            int port,
-                                                           std::string* err = nullptr);
+                                                           std::string* err = nullptr,
+                                                           ClientOptions opts = {});
 
   /// Connects to a Unix-domain socket. Null on failure, reason in *err.
   [[nodiscard]] static std::unique_ptr<Client> connect_unix(const std::string& path,
-                                                            std::string* err = nullptr);
+                                                            std::string* err = nullptr,
+                                                            ClientOptions opts = {});
 
   ~Client();
   Client(const Client&) = delete;
@@ -35,8 +70,9 @@ class Client {
 
   /// Submits an edge batch; the returned status is the server's admission
   /// verdict (kOk / kShed / kClosed), or kError on transport failure.
-  /// Batches larger than kMaxIngestEdges (one frame's worth) come back as
-  /// kInvalid without touching the socket — split them before calling.
+  /// kShed and transport errors are retried per ClientOptions before being
+  /// reported. Batches larger than kMaxIngestEdges (one frame's worth) come
+  /// back as kInvalid without touching the socket — split them first.
   [[nodiscard]] Status ingest(const std::vector<Edge>& edges);
 
   /// Connectivity query. Transport/protocol failures surface as kError in
@@ -56,17 +92,45 @@ class Client {
   /// Full service stats sample. False on failure.
   [[nodiscard]] bool stats(ServiceStats& out);
 
-  /// Asks the daemon to shut down gracefully. True if acknowledged.
+  /// Liveness/durability sample (kHealth). False on failure.
+  [[nodiscard]] bool health(ServiceHealth& out);
+
+  /// Asks the daemon to shut down gracefully. True if acknowledged. Never
+  /// retried: re-sending shutdown to a dying server is noise.
   [[nodiscard]] bool shutdown_server();
 
+  /// Cumulative retry attempts made by this client (for tests/loadgen).
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  /// Cumulative successful reconnects after transport failures.
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, ClientOptions opts, bool is_unix, std::string host_or_path, int port);
 
   /// Sends `req` (stamping a fresh id) and reads the matching response.
   [[nodiscard]] bool round_trip(Request& req, Response& resp);
 
+  /// round_trip plus the retry policy described in the header comment.
+  /// Returns false only when every attempt failed at the transport layer;
+  /// a terminal (or retries-exhausted kShed) status returns true with the
+  /// status in `resp`.
+  [[nodiscard]] bool call(Request& req, Response& resp);
+
+  /// Tears down and re-establishes the connection. False if the endpoint
+  /// refused within connect_timeout_ms.
+  [[nodiscard]] bool reconnect();
+
+  void backoff_sleep(int attempt);
+
   int fd_;
+  const ClientOptions opts_;
+  const bool is_unix_;
+  const std::string host_or_path_;  // reconnect target
+  const int port_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t retries_ = 0;
+  std::uint64_t reconnects_ = 0;
+  Xoshiro256 jitter_;
   std::vector<std::uint8_t> scratch_;
 };
 

@@ -108,6 +108,7 @@ void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
     case MsgType::kComponentCount:
     case MsgType::kStats:
     case MsgType::kShutdown:
+    case MsgType::kHealth:
       break;
   }
   finish_frame(out, frame_start);
@@ -136,6 +137,18 @@ void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
       put_u64(out, resp.stats.num_components);
       put_u64(out, resp.stats.num_vertices);
       break;
+    case MsgType::kHealth:
+      put_u8(out, resp.health.degraded ? 1 : 0);
+      put_u8(out, resp.health.ingest_worker_alive ? 1 : 0);
+      put_u8(out, resp.health.wal_enabled ? 1 : 0);
+      put_u8(out, resp.health.wal_healthy ? 1 : 0);
+      put_u64(out, resp.health.queue_depth);
+      put_u64(out, resp.health.staleness_edges);
+      put_u64(out, resp.health.ingest_lag_batches);
+      put_u64(out, resp.health.wal_records);
+      put_u64(out, resp.health.replayed_edges);
+      put_u64(out, resp.health.degraded_entries);
+      break;
     case MsgType::kPing:
     case MsgType::kIngest:
     case MsgType::kShutdown:
@@ -147,7 +160,7 @@ void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
 bool decode_request(std::span<const std::uint8_t> payload, Request& req) {
   Reader r(payload);
   std::uint8_t type = 0;
-  if (!r.u8(type) || type > static_cast<std::uint8_t>(MsgType::kShutdown)) return false;
+  if (!r.u8(type) || type > static_cast<std::uint8_t>(MsgType::kHealth)) return false;
   req.type = static_cast<MsgType>(type);
   if (!r.u64(req.id)) return false;
   req.u = 0;
@@ -183,6 +196,7 @@ bool decode_request(std::span<const std::uint8_t> payload, Request& req) {
     case MsgType::kComponentCount:
     case MsgType::kStats:
     case MsgType::kShutdown:
+    case MsgType::kHealth:
       break;
   }
   return r.exhausted();
@@ -192,13 +206,14 @@ bool decode_response(std::span<const std::uint8_t> payload, Response& resp) {
   Reader r(payload);
   std::uint8_t type = 0;
   std::uint8_t status = 0;
-  if (!r.u8(type) || type > static_cast<std::uint8_t>(MsgType::kShutdown)) return false;
+  if (!r.u8(type) || type > static_cast<std::uint8_t>(MsgType::kHealth)) return false;
   resp.type = static_cast<MsgType>(type);
   if (!r.u64(resp.id)) return false;
   if (!r.u8(status) || status > static_cast<std::uint8_t>(Status::kError)) return false;
   resp.status = static_cast<Status>(status);
   resp.value = 0;
   resp.stats = ServiceStats{};
+  resp.health = ServiceHealth{};
   switch (resp.type) {
     case MsgType::kConnected:
     case MsgType::kComponentOf:
@@ -216,6 +231,26 @@ bool decode_response(std::span<const std::uint8_t> payload, Response& resp) {
       }
       resp.stats.num_components = static_cast<vertex_t>(components);
       resp.stats.num_vertices = static_cast<vertex_t>(vertices);
+      break;
+    }
+    case MsgType::kHealth: {
+      std::uint8_t degraded = 0;
+      std::uint8_t alive = 0;
+      std::uint8_t wal_enabled = 0;
+      std::uint8_t wal_healthy = 0;
+      if (!r.u8(degraded) || degraded > 1 || !r.u8(alive) || alive > 1 ||
+          !r.u8(wal_enabled) || wal_enabled > 1 || !r.u8(wal_healthy) ||
+          wal_healthy > 1 || !r.u64(resp.health.queue_depth) ||
+          !r.u64(resp.health.staleness_edges) ||
+          !r.u64(resp.health.ingest_lag_batches) ||
+          !r.u64(resp.health.wal_records) || !r.u64(resp.health.replayed_edges) ||
+          !r.u64(resp.health.degraded_entries)) {
+        return false;
+      }
+      resp.health.degraded = degraded != 0;
+      resp.health.ingest_worker_alive = alive != 0;
+      resp.health.wal_enabled = wal_enabled != 0;
+      resp.health.wal_healthy = wal_healthy != 0;
       break;
     }
     case MsgType::kPing:

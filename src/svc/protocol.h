@@ -15,6 +15,7 @@
 //   kComponentCount  (empty)
 //   kStats           (empty)
 //   kShutdown        (empty)
+//   kHealth          (empty)
 //
 // Response bodies:
 //   kPing / kIngest / kShutdown   (empty)
@@ -25,6 +26,11 @@
 //                                 accepted_batches, applied_batches,
 //                                 shed_batches, queue_depth, num_components,
 //                                 num_vertices
+//   kHealth                       4 x u8: degraded, ingest_worker_alive,
+//                                 wal_enabled, wal_healthy; then 6 x u64:
+//                                 queue_depth, staleness_edges,
+//                                 ingest_lag_batches, wal_records,
+//                                 replayed_edges, degraded_entries
 //
 // The status byte carries the service's admission/backpressure verdict to
 // the client: a full ingest queue yields kShed — a definitive, visible
@@ -54,6 +60,7 @@ enum class MsgType : std::uint8_t {
   kComponentCount = 4,
   kStats = 5,
   kShutdown = 6,
+  kHealth = 7,
 };
 
 enum class Status : std::uint8_t {
@@ -91,6 +98,7 @@ struct Response {
   Status status = Status::kOk;
   std::uint64_t value = 0;  // kConnected / kComponentOf / kComponentCount
   ServiceStats stats;       // kStats only
+  ServiceHealth health;     // kHealth only
 };
 
 /// Appends the complete frame (length prefix + payload) for `req` to `out`.

@@ -41,6 +41,9 @@ void record_op_latency(MsgType type, std::uint64_t us) {
     case MsgType::kStats:
       ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.stats", bounds(), us);
       break;
+    case MsgType::kHealth:
+      ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.health", bounds(), us);
+      break;
     case MsgType::kShutdown:
       break;
   }
@@ -123,6 +126,9 @@ void Server::accept_loop() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
     if (client_fd < 0) continue;
+    // Backstop deadline on responses: a peer that stops draining its socket
+    // stalls the handler in send() for at most send_timeout_ms.
+    net::set_io_timeouts(client_fd, 0, opts_.send_timeout_ms);
     ECL_OBS_COUNTER_ADD("ecl.svc.server.connections", 1);
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.emplace_back();
@@ -164,7 +170,20 @@ void Server::handle_connection(Connection* conn) {
   std::vector<std::uint8_t> payload;
   std::vector<std::uint8_t> reply;
   Request req;
-  while (net::read_frame(fd, payload)) {
+  for (;;) {
+    const net::IoStatus rst = net::read_frame_deadline(
+        fd, payload, opts_.idle_timeout_ms, opts_.frame_timeout_ms);
+    if (rst == net::IoStatus::kTimeout) {
+      // The frame started but stalled: the peer is stuck (or hostile) and
+      // would otherwise pin this handler thread. Evict it.
+      ECL_OBS_COUNTER_ADD("ecl.svc.server.evicted_slow", 1);
+      break;
+    }
+    if (rst == net::IoStatus::kIdle) {
+      ECL_OBS_COUNTER_ADD("ecl.svc.server.evicted_idle", 1);
+      break;
+    }
+    if (rst != net::IoStatus::kOk) break;  // kEof (clean close) or kError
     Timer t;
     Response resp;
     bool decoded = false;
@@ -187,7 +206,13 @@ void Server::handle_connection(Connection* conn) {
     }
     reply.clear();
     encode_response(resp, reply);
-    if (!net::write_frame(fd, reply)) break;
+    const net::IoStatus wst = net::write_frame_io(fd, reply);
+    if (wst != net::IoStatus::kOk) {
+      if (wst == net::IoStatus::kTimeout) {
+        ECL_OBS_COUNTER_ADD("ecl.svc.server.evicted_slow", 1);
+      }
+      break;
+    }
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     record_op_latency(req.type, static_cast<std::uint64_t>(t.micros()));
     if (req.type == MsgType::kShutdown) {
@@ -246,6 +271,9 @@ Response Server::dispatch(const Request& req) {
       break;
     case MsgType::kStats:
       resp.stats = service_.stats();
+      break;
+    case MsgType::kHealth:
+      resp.health = service_.health();
       break;
   }
   return resp;

@@ -33,6 +33,16 @@ struct ServerOptions {
   /// TCP port; 0 picks an ephemeral port (see port() after start()).
   int port = 0;
   int backlog = 64;
+  /// A client that starts a frame must deliver the rest within this bound,
+  /// or it is evicted (counted in ecl.svc.server.evicted_slow) — one stuck
+  /// or malicious peer must never pin a handler thread forever. 0 disables.
+  int frame_timeout_ms = 10000;
+  /// Evict connections with no traffic at all for this long. 0 (default)
+  /// lets idle-but-healthy clients stay connected indefinitely.
+  int idle_timeout_ms = 0;
+  /// SO_SNDTIMEO for responses: a peer that stops draining its socket is
+  /// evicted once the send buffer stays full this long. 0 = OS default.
+  int send_timeout_ms = 10000;
 };
 
 class Server {

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <stdexcept>
 #include <utility>
 
 #include "common/timer.h"
 #include "core/ecl_cc.h"
+#include "fault/fault.h"
 #include "graph/builder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -35,6 +38,7 @@ SnapshotPtr make_identity_snapshot(vertex_t n) {
 ConnectivityService::ConnectivityService(vertex_t n, ServiceOptions opts)
     : num_vertices_(n), opts_(opts), live_(n), queue_(opts.queue_capacity) {
   snapshot_.store(make_identity_snapshot(n));
+  init_wal();
   start_threads();
 }
 
@@ -59,7 +63,43 @@ ConnectivityService::ConnectivityService(const Graph& seed, ServiceOptions opts)
   snap->build_ms = t.millis();
   snap->num_components = count_labels(snap->labels);
   snapshot_.store(std::move(snap));
+  init_wal();
   start_threads();
+}
+
+void ConnectivityService::init_wal() {
+  if (opts_.wal_path.empty()) return;
+  auto rep = WriteAheadLog::replay_and_truncate(opts_.wal_path);
+  if (!rep.ok) {
+    throw std::runtime_error("ecl::svc WAL replay failed: " + rep.error);
+  }
+  if (!rep.edges.empty()) {
+    std::erase_if(rep.edges, [this](const Edge& e) {
+      return e.first >= num_vertices_ || e.second >= num_vertices_;
+    });
+    live_.add_edges(rep.edges.data(), rep.edges.size());
+    {
+      std::lock_guard<std::mutex> lock(log_mu_);
+      log_.insert(log_.end(), rep.edges.begin(), rep.edges.end());
+      applied_edges_.fetch_add(rep.edges.size(), std::memory_order_release);
+    }
+    replayed_edges_ = rep.edges.size();
+    // Synchronous: threads are not running yet, and the first published
+    // snapshot must already reflect everything the WAL recovered.
+    run_compaction();
+  }
+  std::string err;
+  if (!wal_.open(opts_.wal_path, opts_.wal, &err)) {
+    throw std::runtime_error("ecl::svc WAL open failed: " + err);
+  }
+}
+
+void ConnectivityService::enter_degraded(const char* reason) {
+  if (!degraded_.exchange(true, std::memory_order_acq_rel)) {
+    degraded_entries_.fetch_add(1, std::memory_order_relaxed);
+    ECL_OBS_COUNTER_ADD("ecl.svc.degraded.entries", 1);
+    std::fprintf(stderr, "[ecl::svc] entering read-only degraded mode: %s\n", reason);
+  }
 }
 
 ConnectivityService::~ConnectivityService() { stop(); }
@@ -71,6 +111,16 @@ void ConnectivityService::start_threads() {
 
 Admission ConnectivityService::submit(EdgeBatch batch) {
   if (stopped_.load(std::memory_order_acquire)) return Admission::kClosed;
+  if (degraded_.load(std::memory_order_acquire)) {
+    // Read-only mode: shed instead of accepting writes we can neither
+    // durably log nor (if the worker died) ever apply.
+    shed_batches_.fetch_add(1, std::memory_order_relaxed);
+    ECL_OBS_COUNTER_ADD("ecl.svc.ingest.shed", 1);
+    return Admission::kShed;
+  }
+  const bool wal_on = wal_healthy_.load(std::memory_order_acquire) && !opts_.wal_path.empty();
+  EdgeBatch wal_copy;
+  if (wal_on) wal_copy = batch;
   const Admission verdict = queue_.try_push(std::move(batch));
   switch (verdict) {
     case Admission::kAccepted:
@@ -85,12 +135,40 @@ Admission ConnectivityService::submit(EdgeBatch batch) {
       break;
   }
   ECL_OBS_GAUGE_SET("ecl.svc.queue.depth", static_cast<double>(queue_.size()));
+  if (verdict == Admission::kAccepted && wal_on) {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (!wal_.append(wal_copy)) {
+      wal_healthy_.store(false, std::memory_order_release);
+      enter_degraded("WAL append/fsync failed");
+      // The batch is already queued and will be applied, but durability was
+      // not achieved: answer kShed so the caller does not treat it as acked.
+      return Admission::kShed;
+    }
+    wal_records_.fetch_add(1, std::memory_order_relaxed);
+  }
   return verdict;
 }
 
 void ConnectivityService::ingest_loop() {
+  try {
+    ingest_loop_body();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[ecl::svc] ingest worker died: %s\n", e.what());
+    ingest_alive_.store(false, std::memory_order_release);
+    enter_degraded("ingest worker died");
+    // Wake flush()/compact_now() waiters — progress will never advance, and
+    // their predicates check ingest_alive_ precisely so they don't hang.
+    progress_cv_.notify_all();
+    compact_cv_.notify_all();
+  }
+}
+
+void ConnectivityService::ingest_loop_body() {
   EdgeBatch batch;
   while (queue_.pop(batch)) {
+    if (ECL_FAULT_POINT("svc.ingest.worker").fired()) {
+      throw std::runtime_error("injected fault: svc.ingest.worker");
+    }
     ECL_OBS_SPAN(span, "svc.batch", "svc");
     Timer t;
     if (opts_.ingest_delay_us > 0) {
@@ -208,7 +286,8 @@ void ConnectivityService::flush() {
   const std::uint64_t target = accepted_batches_.load(std::memory_order_acquire);
   std::unique_lock<std::mutex> lock(progress_mu_);
   progress_cv_.wait(lock, [&] {
-    return applied_batches_.load(std::memory_order_acquire) >= target;
+    return applied_batches_.load(std::memory_order_acquire) >= target ||
+           !ingest_alive_.load(std::memory_order_acquire);
   });
 }
 
@@ -246,6 +325,10 @@ void ConnectivityService::stop() {
   if (compact_thread_.joinable()) compact_thread_.join();
   progress_cv_.notify_all();
   compact_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal_.close();  // fsyncs any unsynced tail (per policy) before closing
+  }
 }
 
 bool ConnectivityService::connected(vertex_t u, vertex_t v, ReadMode mode) {
@@ -285,6 +368,25 @@ ServiceStats ConnectivityService::stats() const {
   s.num_components = snap->num_components;
   s.num_vertices = num_vertices_;
   return s;
+}
+
+ServiceHealth ConnectivityService::health() const {
+  ServiceHealth h;
+  h.degraded = degraded_.load(std::memory_order_acquire);
+  h.ingest_worker_alive = ingest_alive_.load(std::memory_order_acquire);
+  h.wal_enabled = !opts_.wal_path.empty();
+  h.wal_healthy = wal_healthy_.load(std::memory_order_acquire);
+  h.queue_depth = queue_.size();
+  const auto snap = snapshot_.load(std::memory_order_acquire);
+  const std::uint64_t applied = applied_edges_.load(std::memory_order_acquire);
+  h.staleness_edges = applied > snap->watermark ? applied - snap->watermark : 0;
+  const std::uint64_t accepted = accepted_batches_.load(std::memory_order_relaxed);
+  const std::uint64_t done = applied_batches_.load(std::memory_order_relaxed);
+  h.ingest_lag_batches = accepted > done ? accepted - done : 0;
+  h.wal_records = wal_records_.load(std::memory_order_relaxed);
+  h.replayed_edges = replayed_edges_;
+  h.degraded_entries = degraded_entries_.load(std::memory_order_relaxed);
+  return h;
 }
 
 }  // namespace ecl::svc

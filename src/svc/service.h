@@ -42,6 +42,7 @@
 #include "graph/graph.h"
 #include "svc/queue.h"
 #include "svc/snapshot.h"
+#include "svc/wal.h"
 
 namespace ecl::svc {
 
@@ -59,6 +60,14 @@ struct ServiceOptions {
   /// Test hook: artificial delay (microseconds) per applied batch, to make
   /// backpressure reproducible in unit tests. 0 in production.
   int ingest_delay_us = 0;
+  /// Write-ahead log path; empty disables the WAL. When set, the
+  /// constructor replays the log (truncating any torn tail), folds the
+  /// recovered edges into the live structure and initial snapshot, and
+  /// appends every subsequently accepted batch before acking it
+  /// (docs/ROBUSTNESS.md "Crash recovery").
+  std::string wal_path;
+  /// Durability policy for the WAL (ignored when wal_path is empty).
+  WalOptions wal;
 };
 
 /// Which consistency a read wants (docs/SERVICE.md "Consistency model").
@@ -78,6 +87,21 @@ struct ServiceStats {
   std::uint64_t queue_depth = 0;
   vertex_t num_components = 0;        // of the published snapshot
   vertex_t num_vertices = 0;
+};
+
+/// One liveness/durability sample, for the kHealth RPC and the chaos tests
+/// (docs/ROBUSTNESS.md "Degraded mode"). All fields are lock-free reads.
+struct ServiceHealth {
+  bool degraded = false;            // read-only mode: ingest sheds, reads serve
+  bool ingest_worker_alive = true;  // false once the worker thread has died
+  bool wal_enabled = false;
+  bool wal_healthy = true;          // false after a WAL I/O failure
+  std::uint64_t queue_depth = 0;
+  std::uint64_t staleness_edges = 0;    // applied edges not yet in the snapshot
+  std::uint64_t ingest_lag_batches = 0; // accepted but not yet applied
+  std::uint64_t wal_records = 0;        // records appended this process
+  std::uint64_t replayed_edges = 0;     // edges recovered at startup
+  std::uint64_t degraded_entries = 0;   // times degraded mode was entered
 };
 
 class ConnectivityService {
@@ -101,14 +125,17 @@ class ConnectivityService {
   // --- writer side ---------------------------------------------------------
 
   /// Admits a batch of undirected edges. kAccepted means the batch *will*
-  /// be applied (even if stop() is called right after); kShed means the
-  /// queue was full and the caller should retry later; kClosed means the
-  /// service is draining. Edges with endpoints >= num_vertices() are
-  /// dropped at apply time (counted in ecl.svc.ingest.invalid_edges).
+  /// be applied (even if stop() is called right after) and — when a WAL is
+  /// configured — has been durably logged per the fsync policy; kShed means
+  /// the queue was full (or the service is degraded) and the caller should
+  /// retry later; kClosed means the service is draining. Edges with
+  /// endpoints >= num_vertices() are dropped at apply time (counted in
+  /// ecl.svc.ingest.invalid_edges).
   [[nodiscard]] Admission submit(EdgeBatch batch);
 
   /// Blocks until every batch accepted so far has been applied to the live
-  /// structure (not necessarily compacted into a snapshot).
+  /// structure (not necessarily compacted into a snapshot). Returns early
+  /// (possibly with batches unapplied) if the ingest worker has died.
   void flush();
 
   /// flush(), then forces a compaction whose watermark covers every edge
@@ -144,12 +171,33 @@ class ConnectivityService {
   [[nodiscard]] vertex_t num_vertices() const { return num_vertices_; }
   [[nodiscard]] ServiceStats stats() const;
 
+  // --- robustness ----------------------------------------------------------
+
+  /// True once the service has dropped to read-only degraded mode (ingest
+  /// worker died, or the WAL hit an I/O error). Queries keep serving;
+  /// submit() sheds. There is no way back up short of a restart.
+  [[nodiscard]] bool degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
+
+  /// Liveness/durability sample (the kHealth RPC body).
+  [[nodiscard]] ServiceHealth health() const;
+
+  /// Edges recovered from the WAL by this constructor (0 without a WAL).
+  [[nodiscard]] std::uint64_t replayed_edges() const { return replayed_edges_; }
+
  private:
   void start_threads();
   void ingest_loop();
+  void ingest_loop_body();
   void compact_loop();
   /// Builds and publishes a snapshot covering the log's current contents.
   void run_compaction();
+  /// Replays + opens the WAL (throws std::runtime_error on an unusable
+  /// file), folding recovered edges into live_/log_. Ctor-only.
+  void init_wal();
+  /// One-way transition into read-only mode; logs and counts the entry.
+  void enter_degraded(const char* reason);
 
   const vertex_t num_vertices_;
   const ServiceOptions opts_;
@@ -179,6 +227,17 @@ class ConnectivityService {
   std::thread compact_thread_;
   std::mutex stop_mu_;  // serializes stop(): only one caller touches the threads
   std::atomic<bool> stopped_{false};
+
+  // Robustness state. wal_mu_ serializes appends from concurrent submit()
+  // callers; the flags are read lock-free by health() and submit().
+  std::mutex wal_mu_;
+  WriteAheadLog wal_;
+  std::uint64_t replayed_edges_ = 0;
+  std::atomic<std::uint64_t> wal_records_{0};
+  std::atomic<bool> wal_healthy_{true};
+  std::atomic<bool> degraded_{false};
+  std::atomic<bool> ingest_alive_{true};
+  std::atomic<std::uint64_t> degraded_entries_{0};
 };
 
 }  // namespace ecl::svc

@@ -1,0 +1,294 @@
+#include "svc/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
+namespace ecl::svc {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'C', 'L', 'W', 'A', 'L', '0', '1'};
+constexpr std::size_t kRecordHeaderBytes = 8;  // u32 len + u32 crc
+constexpr std::uint32_t kMaxRecordBytes = 1u << 26;
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::write(fd, p, n);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+/// Reads up to n bytes, stopping early only at EOF. Returns false on error.
+bool read_upto(int fd, void* buf, std::size_t n, std::size_t* got) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, p + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      *got = done;
+      return false;
+    }
+    if (r == 0) break;
+    done += static_cast<std::size_t>(r);
+  }
+  *got = done;
+  return true;
+}
+
+void set_error(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xFFFFFFFFu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* to_string(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kNone: return "none";
+    case FsyncPolicy::kBatch: return "batch";
+    case FsyncPolicy::kAlways: return "always";
+  }
+  return "?";
+}
+
+bool parse_fsync_policy(std::string_view s, FsyncPolicy* out) {
+  if (s == "none") { *out = FsyncPolicy::kNone; return true; }
+  if (s == "batch") { *out = FsyncPolicy::kBatch; return true; }
+  if (s == "always") { *out = FsyncPolicy::kAlways; return true; }
+  return false;
+}
+
+WriteAheadLog::~WriteAheadLog() { close(); }
+
+bool WriteAheadLog::open(const std::string& path, WalOptions opts, std::string* err) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    set_error(err, "wal open " + path);
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    set_error(err, "wal fstat " + path);
+    ::close(fd);
+    return false;
+  }
+  if (st.st_size == 0) {
+    if (!write_all(fd, kMagic, sizeof(kMagic))) {
+      set_error(err, "wal write header " + path);
+      ::close(fd);
+      return false;
+    }
+  } else {
+    char magic[sizeof(kMagic)] = {};
+    if (st.st_size < static_cast<off_t>(sizeof(kMagic)) ||
+        ::pread(fd, magic, sizeof(magic), 0) != static_cast<ssize_t>(sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      if (err != nullptr) *err = "wal open " + path + ": not a WAL file (bad magic)";
+      ::close(fd);
+      return false;
+    }
+  }
+  fd_ = fd;
+  opts_ = opts;
+  path_ = path;
+  appended_records_ = 0;
+  unsynced_appends_ = 0;
+  return true;
+}
+
+bool WriteAheadLog::append(const std::vector<Edge>& batch) {
+  if (fd_ < 0) return false;
+  if (batch.empty()) return true;
+  const std::uint32_t payload_len = static_cast<std::uint32_t>(batch.size() * 8);
+  std::vector<std::uint8_t> rec(kRecordHeaderBytes + payload_len);
+  std::uint8_t* p = rec.data() + kRecordHeaderBytes;
+  for (const auto& [u, v] : batch) {
+    put_u32(p, u);
+    put_u32(p + 4, v);
+    p += 8;
+  }
+  put_u32(rec.data(), payload_len);
+  put_u32(rec.data() + 4, crc32(rec.data() + kRecordHeaderBytes, payload_len));
+
+  const bool append_fault = ECL_FAULT_POINT("svc.wal.append").fired();
+  if (append_fault || !write_all(fd_, rec.data(), rec.size())) {
+    // A record may have been half-written; the half-record is exactly the
+    // torn tail replay knows how to cut off. Close so the service degrades.
+    ECL_OBS_COUNTER_ADD("ecl.svc.wal.errors", 1);
+    close();
+    return false;
+  }
+  ++appended_records_;
+  ++unsynced_appends_;
+  ECL_OBS_COUNTER_ADD("ecl.svc.wal.appends", 1);
+  ECL_OBS_COUNTER_ADD("ecl.svc.wal.appended_edges", batch.size());
+
+  const bool want_fsync =
+      opts_.fsync_policy == FsyncPolicy::kAlways ||
+      (opts_.fsync_policy == FsyncPolicy::kBatch && opts_.fsync_every != 0 &&
+       unsynced_appends_ >= opts_.fsync_every);
+  if (want_fsync && !sync()) {
+    ECL_OBS_COUNTER_ADD("ecl.svc.wal.errors", 1);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool WriteAheadLog::sync() {
+  if (fd_ < 0) return true;
+  if (ECL_FAULT_POINT("svc.wal.fsync").fired()) return false;
+  if (::fsync(fd_) != 0) return false;
+  unsynced_appends_ = 0;
+  ECL_OBS_COUNTER_ADD("ecl.svc.wal.fsyncs", 1);
+  return true;
+}
+
+void WriteAheadLog::close() {
+  if (fd_ < 0) return;
+  if (opts_.fsync_policy != FsyncPolicy::kNone && unsynced_appends_ > 0) {
+    (void)::fsync(fd_);
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+WalReplayResult WriteAheadLog::replay_and_truncate(const std::string& path) {
+  WalReplayResult out;
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      out.ok = true;  // first boot: nothing to replay
+      return out;
+    }
+    out.error = "wal replay open " + path + ": " + std::strerror(errno);
+    return out;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    out.error = "wal replay fstat " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return out;
+  }
+  const std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
+
+  const auto truncate_to = [&](std::uint64_t offset) {
+    out.truncated_bytes = file_size - offset;
+    (void)::ftruncate(fd, static_cast<off_t>(offset));
+    (void)::fsync(fd);
+    ECL_OBS_COUNTER_ADD("ecl.svc.wal.truncated_bytes", out.truncated_bytes);
+  };
+
+  char magic[sizeof(kMagic)] = {};
+  std::size_t got = 0;
+  if (!read_upto(fd, magic, sizeof(magic), &got)) {
+    out.error = "wal replay read " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return out;
+  }
+  if (got == 0) {
+    out.ok = true;  // empty file; open() will stamp the header
+    ::close(fd);
+    return out;
+  }
+  if (got < sizeof(kMagic)) {
+    // Crash while creating the file: nothing durable was ever acked.
+    truncate_to(0);
+    out.ok = true;
+    ::close(fd);
+    return out;
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    out.error = "wal replay " + path + ": not a WAL file (bad magic)";
+    ::close(fd);
+    return out;
+  }
+
+  std::uint64_t offset = sizeof(kMagic);
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    std::uint8_t hdr[kRecordHeaderBytes];
+    if (!read_upto(fd, hdr, sizeof(hdr), &got)) {
+      out.error = "wal replay read " + path + ": " + std::strerror(errno);
+      ::close(fd);
+      return out;
+    }
+    if (got == 0) break;  // clean end
+    if (got < sizeof(hdr)) {
+      truncate_to(offset);
+      break;
+    }
+    const std::uint32_t len = get_u32(hdr);
+    const std::uint32_t want_crc = get_u32(hdr + 4);
+    if (len == 0 || len % 8 != 0 || len > kMaxRecordBytes) {
+      truncate_to(offset);  // corrupt framing: nothing past here is trustworthy
+      break;
+    }
+    payload.resize(len);
+    if (!read_upto(fd, payload.data(), len, &got)) {
+      out.error = "wal replay read " + path + ": " + std::strerror(errno);
+      ::close(fd);
+      return out;
+    }
+    if (got < len || crc32(payload.data(), len) != want_crc) {
+      truncate_to(offset);  // torn or bit-flipped record
+      break;
+    }
+    for (std::uint32_t i = 0; i < len; i += 8) {
+      out.edges.emplace_back(get_u32(payload.data() + i), get_u32(payload.data() + i + 4));
+    }
+    ++out.records;
+    offset += sizeof(hdr) + len;
+  }
+  ::close(fd);
+  out.ok = true;
+  ECL_OBS_COUNTER_ADD("ecl.svc.wal.replayed_records", out.records);
+  ECL_OBS_COUNTER_ADD("ecl.svc.wal.replayed_edges", out.edges.size());
+  return out;
+}
+
+}  // namespace ecl::svc

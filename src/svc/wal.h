@@ -1,0 +1,110 @@
+// Write-ahead edge log for ConnectivityService crash recovery
+// (docs/ROBUSTNESS.md "WAL format").
+//
+// The service appends every accepted batch to this log *before* the submit
+// call returns kAccepted, so an acked batch survives a crash of the daemon
+// process: on restart, replay_and_truncate() returns every durably logged
+// edge and the service re-inserts them into the union-find (idempotent, so
+// a batch that was both logged and applied before the crash is harmless).
+//
+// On-disk layout (little-endian throughout):
+//
+//   header   8 bytes   magic "ECLWAL01"
+//   record   u32 payload_len | u32 crc32(payload) | payload
+//   payload  payload_len/8 edges, each u32 u | u32 v
+//
+// A crash can tear the final record (partial write, or payload written but
+// CRC not). Replay validates each record's CRC and, at the first torn or
+// corrupt record, ftruncates the file back to the last good record so the
+// next open() appends from a clean tail. CRC32 is the standard reflected
+// polynomial 0xEDB88320 (same function zlib computes), implemented locally
+// so the dependency stays zero.
+//
+// Durability is configurable per service (FsyncPolicy): kNone trusts the
+// page cache, kBatch fsyncs every `fsync_every` appends, kAlways fsyncs
+// each append before acking. Fault points: svc.wal.append, svc.wal.fsync.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ecl::svc {
+
+/// When the WAL calls fsync (docs/ROBUSTNESS.md "Durability levels").
+enum class FsyncPolicy : std::uint8_t {
+  kNone = 0,    // never; page cache only — survives process death, not OS crash
+  kBatch = 1,   // every WalOptions::fsync_every appends (and on close)
+  kAlways = 2,  // every append, before the caller is acked
+};
+
+[[nodiscard]] const char* to_string(FsyncPolicy p);
+/// Parses "none" | "batch" | "always". False (out unchanged) otherwise.
+[[nodiscard]] bool parse_fsync_policy(std::string_view s, FsyncPolicy* out);
+
+struct WalOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kBatch;
+  /// Under kBatch: fsync once per this many appends (and on close).
+  std::uint32_t fsync_every = 16;
+};
+
+/// What replay recovered. `ok == false` means the file exists but is not a
+/// WAL (bad magic) or could not be read — the caller must not overwrite it.
+struct WalReplayResult {
+  bool ok = false;
+  std::string error;
+  std::vector<Edge> edges;           // every edge from intact records, in order
+  std::uint64_t records = 0;         // intact records replayed
+  std::uint64_t truncated_bytes = 0; // torn/corrupt tail removed, 0 if clean
+};
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens `path` for appending, creating it (with header) if absent or
+  /// empty. An existing file must carry the WAL magic; replay it first —
+  /// open() does not validate record bodies, only the header, and positions
+  /// at end-of-file. Returns false with *err filled in on failure.
+  [[nodiscard]] bool open(const std::string& path, WalOptions opts, std::string* err);
+
+  /// Appends one batch as a single CRC-framed record and applies the fsync
+  /// policy. False on any I/O failure (the log is closed: a WAL that can no
+  /// longer persist must not pretend to — the service reacts by entering
+  /// degraded mode). Empty batches are a no-op.
+  [[nodiscard]] bool append(const std::vector<Edge>& batch);
+
+  /// Explicit fsync (e.g. before a clean shutdown). No-op when closed.
+  [[nodiscard]] bool sync();
+
+  /// Fsyncs (per policy) and closes the fd. Idempotent.
+  void close();
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint64_t appended_records() const { return appended_records_; }
+
+  /// Reads `path`, validates header + per-record CRCs, and truncates any
+  /// torn tail in place. A missing file is a clean empty result (ok, no
+  /// edges) so first boot and restart share one code path.
+  [[nodiscard]] static WalReplayResult replay_and_truncate(const std::string& path);
+
+ private:
+  int fd_ = -1;
+  WalOptions opts_;
+  std::string path_;
+  std::uint64_t appended_records_ = 0;
+  std::uint32_t unsynced_appends_ = 0;
+};
+
+/// CRC32 (reflected 0xEDB88320, zlib-compatible). Exposed for tests that
+/// hand-craft torn or corrupt WAL images.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n);
+
+}  // namespace ecl::svc

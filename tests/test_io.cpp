@@ -259,6 +259,96 @@ TEST_F(IoTest, MissingFileThrows) {
   EXPECT_THROW((void)load_binary(path("nope.eclg")), std::runtime_error);
 }
 
+// ------------------------------------------------- hostile/truncated input ----
+// Loaders must fail with a clear error — never crash, hang, or attempt a
+// header-driven multi-GiB allocation — on truncated or adversarial files
+// (docs/ROBUSTNESS.md "Input hardening").
+
+TEST_F(IoTest, EdgeListRejectsTruncatedFinalLine) {
+  // File cut mid-record: the second line lost its endpoint.
+  std::istringstream in("1 2\n3");
+  EXPECT_THROW((void)read_edge_list(in), std::runtime_error);
+}
+
+TEST_F(IoTest, EdgeListRejectsNonNumericTokens) {
+  std::istringstream nan_line("1 2\nx y\n");
+  EXPECT_THROW((void)read_edge_list(nan_line), std::runtime_error);
+}
+
+TEST_F(IoTest, DimacsRejectsVertexCountOverflow) {
+  // 2^33 vertices cannot be represented in 32-bit vertex ids; silently
+  // truncating the count would alias vertex ids instead of failing.
+  std::istringstream in("p sp 8589934592 1\na 1 2 1\n");
+  EXPECT_THROW((void)read_dimacs(in), std::runtime_error);
+}
+
+TEST_F(IoTest, DimacsSurvivesHostileEdgeCountClaim) {
+  // A tiny file claiming 10^18 edges must not pre-allocate 16 EB; the
+  // declared count only seeds a capped reserve and parsing proceeds.
+  std::istringstream in("p sp 4 1000000000000000000\na 1 2 1\n");
+  const Graph g = read_dimacs(in);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(IoTest, DimacsRejectsNonNumericProblemLine) {
+  std::istringstream in("p sp four three\n");
+  EXPECT_THROW((void)read_dimacs(in), std::runtime_error);
+}
+
+TEST_F(IoTest, MatrixMarketRejectsVertexCountOverflow) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "8589934592 8589934592 1\n"
+      "1 2\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST_F(IoTest, MatrixMarketSurvivesHostileEntryCountClaim) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 1000000000000000000\n"
+      "1 2\n");
+  const Graph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(IoTest, BinaryRejectsHeaderDeclaringMoreThanFileHolds) {
+  // Honest magic, hostile sizes: n and m each claim far more payload than
+  // the file contains. Both must fail before any allocation is attempted.
+  const std::uint64_t magic = 0x45434c4347313041ULL;  // "ECLCG10A"
+  {
+    std::ofstream out(path("hostile_n.eclg"), std::ios::binary);
+    const std::uint64_t n = 0xFFFFFFF0ull, m = 0;
+    out.write(reinterpret_cast<const char*>(&magic), 8);
+    out.write(reinterpret_cast<const char*>(&n), 8);
+    out.write(reinterpret_cast<const char*>(&m), 8);
+  }
+  EXPECT_THROW((void)load_binary(path("hostile_n.eclg")), std::runtime_error);
+  {
+    std::ofstream out(path("hostile_m.eclg"), std::ios::binary);
+    const std::uint64_t n = 1, m = 1ull << 40;
+    const std::uint64_t offsets[2] = {0, 0};
+    out.write(reinterpret_cast<const char*>(&magic), 8);
+    out.write(reinterpret_cast<const char*>(&n), 8);
+    out.write(reinterpret_cast<const char*>(&m), 8);
+    out.write(reinterpret_cast<const char*>(offsets), 16);
+  }
+  EXPECT_THROW((void)load_binary(path("hostile_m.eclg")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsVertexCountOverflow) {
+  const std::uint64_t magic = 0x45434c4347313041ULL;
+  std::ofstream out(path("overflow.eclg"), std::ios::binary);
+  const std::uint64_t n = 1ull << 33, m = 0;
+  out.write(reinterpret_cast<const char*>(&magic), 8);
+  out.write(reinterpret_cast<const char*>(&n), 8);
+  out.write(reinterpret_cast<const char*>(&m), 8);
+  out.close();
+  EXPECT_THROW((void)load_binary(path("overflow.eclg")), std::runtime_error);
+}
+
 TEST_F(IoTest, LoadedGraphsWorkWithEclCc) {
   // End-to-end: a graph written to disk, reloaded, and labeled must match
   // the original's components.

@@ -13,13 +13,15 @@
 // Query flags: --fresh reads the live union-find structure instead of the
 // last compacted snapshot (fresher, but labels are not canonical).
 // Ingest flags: --batch=N splits file ingest into batches of N edges
-// (default 4096); shed batches are retried up to --retries=N times
-// (default 3) with a short backoff.
+// (default 4096).
+// Robustness flags (all ops): --retries=N caps retry attempts for shed or
+// transport-failed requests (default 3, exponential backoff with jitter —
+// see docs/ROBUSTNESS.md), --op-timeout-ms=N bounds each attempt's socket
+// I/O (default 10000), --connect-timeout-ms=N bounds connection setup
+// (default 5000).
 //
 // Exit codes: 0 success, 1 usage/transport error, 2 request rejected
 // (invalid vertex, queue shed after retries, or service closed).
-#include <unistd.h>
-
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -47,6 +49,7 @@ int usage() {
                "  ingest U V [U V ...]      insert edges from the command line\n"
                "  ingest-file FILE          insert 'u v' edge lines from FILE\n"
                "  stats                     service statistics\n"
+               "  health                    liveness / durability sample\n"
                "  shutdown                  ask the daemon to shut down\n");
   return 1;
 }
@@ -59,17 +62,6 @@ bool parse_vertex(const std::string& s, vertex_t& out) {
   return true;
 }
 
-/// Sends one batch, retrying kShed with exponential backoff.
-svc::Status ingest_with_retry(svc::Client& client, const std::vector<Edge>& batch,
-                              int retries) {
-  svc::Status st = client.ingest(batch);
-  for (int attempt = 0; st == svc::Status::kShed && attempt < retries; ++attempt) {
-    ::usleep(1000u << attempt);  // 1ms, 2ms, 4ms, ...
-    st = client.ingest(batch);
-  }
-  return st;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,7 +72,10 @@ int main(int argc, char** argv) {
   const int port = static_cast<int>(args.get_int("port", 0));
   const auto mode = args.has("fresh") ? svc::ReadMode::kFresh : svc::ReadMode::kSnapshot;
   const auto batch_size = static_cast<std::size_t>(args.get_int("batch", 4096));
-  const int retries = static_cast<int>(args.get_int("retries", 3));
+  svc::ClientOptions copts;
+  copts.max_retries = static_cast<int>(args.get_int("retries", 3));
+  copts.op_timeout_ms = static_cast<int>(args.get_int("op-timeout-ms", 10000));
+  copts.connect_timeout_ms = static_cast<int>(args.get_int("connect-timeout-ms", 5000));
   const auto& pos = args.positional();
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", flag.c_str());
@@ -92,8 +87,8 @@ int main(int argc, char** argv) {
   }
 
   std::string err;
-  auto client = unix_path.empty() ? svc::Client::connect_tcp(host, port, &err)
-                                  : svc::Client::connect_unix(unix_path, &err);
+  auto client = unix_path.empty() ? svc::Client::connect_tcp(host, port, &err, copts)
+                                  : svc::Client::connect_unix(unix_path, &err, copts);
   if (!client) {
     std::fprintf(stderr, "error: connect failed: %s\n", err.c_str());
     return 1;
@@ -154,7 +149,7 @@ int main(int argc, char** argv) {
       if (!parse_vertex(pos[i], u) || !parse_vertex(pos[i + 1], v)) return usage();
       edges.emplace_back(u, v);
     }
-    const svc::Status st = ingest_with_retry(*client, edges, retries);
+    const svc::Status st = client->ingest(edges);  // retries per --retries
     if (st != svc::Status::kOk) {
       std::fprintf(stderr, "error: %s\n", status_name(st));
       return st == svc::Status::kError ? 1 : 2;
@@ -175,7 +170,7 @@ int main(int argc, char** argv) {
     std::string line;
     auto flush_batch = [&]() -> int {
       if (batch.empty()) return 0;
-      const svc::Status st = ingest_with_retry(*client, batch, retries);
+      const svc::Status st = client->ingest(batch);
       if (st == svc::Status::kShed) {
         ++shed;
       } else if (st != svc::Status::kOk) {
@@ -228,6 +223,32 @@ int main(int argc, char** argv) {
     std::printf("num_components    %u\n", st.num_components);
     std::printf("num_vertices      %u\n", st.num_vertices);
     return 0;
+  }
+
+  if (cmd == "health") {
+    svc::ServiceHealth h{};
+    if (!client->health(h)) {
+      std::fprintf(stderr, "error: request failed\n");
+      return 1;
+    }
+    std::printf("degraded            %s\n", h.degraded ? "yes" : "no");
+    std::printf("ingest_worker       %s\n", h.ingest_worker_alive ? "alive" : "dead");
+    std::printf("wal                 %s\n",
+                !h.wal_enabled ? "disabled" : (h.wal_healthy ? "healthy" : "failed"));
+    std::printf("queue_depth         %llu\n",
+                static_cast<unsigned long long>(h.queue_depth));
+    std::printf("staleness_edges     %llu\n",
+                static_cast<unsigned long long>(h.staleness_edges));
+    std::printf("ingest_lag_batches  %llu\n",
+                static_cast<unsigned long long>(h.ingest_lag_batches));
+    std::printf("wal_records         %llu\n",
+                static_cast<unsigned long long>(h.wal_records));
+    std::printf("replayed_edges      %llu\n",
+                static_cast<unsigned long long>(h.replayed_edges));
+    std::printf("degraded_entries    %llu\n",
+                static_cast<unsigned long long>(h.degraded_entries));
+    // Exit 0 healthy, 2 degraded: lets scripts use this as a health probe.
+    return h.degraded ? 2 : 0;
   }
 
   if (cmd == "shutdown") {

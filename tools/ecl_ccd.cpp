@@ -20,6 +20,13 @@
 //   --compact-interval-ms=N background compaction cadence (default 20)
 //   --compact-min-edges=N   min new edges before compacting (default 1)
 //   --threads=N             OpenMP threads for compaction (0 = default)
+//   --wal=PATH              write-ahead edge log: replay it on startup
+//                           (truncating any torn tail) and append every
+//                           accepted batch before acking it
+//   --wal-fsync=POLICY      none | batch | always (default batch)
+//   --wal-fsync-every=N     under batch: fsync once per N appends (def. 16)
+//   --frame-timeout-ms=N    evict clients that stall mid-frame (def. 10000)
+//   --idle-timeout-ms=N     evict connections idle this long (0 = never)
 //   --ready-file=PATH       write "unix <path>" or "tcp <host> <port>" once
 //                           listening (lets scripts wait for startup)
 //   --report=FILE.json      write an obs run report on shutdown
@@ -62,11 +69,21 @@ int main(int argc, char** argv) {
   sopts.compact_min_new_edges =
       static_cast<std::uint64_t>(args.get_int("compact-min-edges", 1));
   sopts.num_threads = static_cast<int>(args.get_int("threads", 0));
+  sopts.wal_path = args.get("wal", "");
+  const std::string fsync_policy = args.get("wal-fsync", "batch");
+  if (!svc::parse_fsync_policy(fsync_policy, &sopts.wal.fsync_policy)) {
+    std::fprintf(stderr, "error: bad --wal-fsync=%s (none|batch|always)\n",
+                 fsync_policy.c_str());
+    return 1;
+  }
+  sopts.wal.fsync_every = static_cast<std::uint32_t>(args.get_int("wal-fsync-every", 16));
 
   svc::ServerOptions nopts;
   nopts.unix_path = args.get("unix", "");
   nopts.host = args.get("host", "127.0.0.1");
   nopts.port = static_cast<int>(args.get_int("port", 4280));
+  nopts.frame_timeout_ms = static_cast<int>(args.get_int("frame-timeout-ms", 10000));
+  nopts.idle_timeout_ms = static_cast<int>(args.get_int("idle-timeout-ms", 0));
 
   const std::string graph_file = args.get("graph", "");
   const std::string gen = args.get("gen", "");
@@ -102,6 +119,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  if (!sopts.wal_path.empty()) {
+    std::printf("wal %s (fsync=%s): replayed %llu edges\n", sopts.wal_path.c_str(),
+                svc::to_string(sopts.wal.fsync_policy),
+                static_cast<unsigned long long>(service->replayed_edges()));
+  }
 
   svc::Server server(*service, nopts);
   std::string err;
@@ -133,6 +155,9 @@ int main(int argc, char** argv) {
   service->stop();        // drain in-flight batches + final compaction
 
   const auto stats = service->stats();
+  if (service->degraded()) {
+    std::printf("note: service ended in read-only degraded mode\n");
+  }
   std::printf(
       "shutdown: served %llu requests; epoch %llu, %llu edges applied, "
       "%llu batches shed, %u components\n",
