@@ -1,17 +1,30 @@
 #!/usr/bin/env bash
-# Chaos harness for the connectivity service (docs/ROBUSTNESS.md):
+# Chaos harness for the connectivity service (docs/ROBUSTNESS.md).
 #
-#   1. starts ecl_ccd with a write-ahead log and ECL_FAULT-injected socket
-#      read/write failures and delays,
+# Each scenario follows the same acked => durable script:
+#
+#   1. starts ecl_ccd with a write-ahead log (and, per scenario, durable
+#      checkpoints) plus ECL_FAULT-injected faults,
 #   2. hammers it with svc_loadgen --chaos, which records every *acked*
 #      ingest batch to a file (flushed per batch, so the file never claims
 #      more than the daemon acknowledged),
 #   3. SIGKILLs the daemon mid-run — no drain, no fsync-on-exit grace,
-#   4. restarts it on the same WAL and lets the load generator's retry +
-#      reconnect policy ride through the outage,
-#   5. verifies, over the wire, that every edge of every acked batch is
-#      connected in the revived daemon (acked => durable), and
-#   6. shuts down gracefully and checks the daemon never went degraded.
+#   4. (corrupt scenario) flips bytes in the newest checkpoint file,
+#   5. restarts on the same on-disk state and lets the load generator's
+#      retry + reconnect policy ride through the outage,
+#   6. verifies, over the wire, that every edge of every acked batch is
+#      connected in the revived daemon, and
+#   7. shuts down gracefully and checks the daemon never went degraded.
+#
+# Scenario matrix:
+#   wal-replay      WAL only, injected socket faults (the PR 3 baseline)
+#   mid-checkpoint  checkpoints every 150 ms, each checkpoint write delayed
+#                   200 ms so the SIGKILL lands mid-write (torn .tmp image)
+#   mid-rotation    8 KiB segments (constant rotation), rotations delayed so
+#                   the SIGKILL lands mid-rotation
+#   corrupt-newest  checkpoints on; the newest checkpoint is corrupted after
+#                   the kill — the loader must fall back to the previous one
+#                   (retention keeps segments the *oldest* checkpoint needs)
 #
 #   usage: svc_chaos.sh <ecl_ccd> <ecl_cc_client> <svc_loadgen>
 set -euo pipefail
@@ -21,12 +34,6 @@ CLIENT=$2
 LOADGEN=$3
 
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/ecl_svc_chaos.XXXXXX")
-SOCK="$WORK/ccd.sock"
-WAL="$WORK/edges.wal"
-ACKED="$WORK/acked.txt"
-CCD1_LOG="$WORK/ccd1.log"
-CCD2_LOG="$WORK/ccd2.log"
-LOADGEN_LOG="$WORK/loadgen.log"
 
 cleanup() {
   for pid in "${CCD_PID:-}" "${LOADGEN_PID:-}"; do
@@ -49,50 +56,13 @@ wait_ready() {
   echo "daemon never became ready"; cat "$log"; exit 1
 }
 
-echo "== starting ecl_ccd (run 1) with WAL + injected socket faults"
-# Low-probability read/write failures plus occasional 2 ms read delays on
-# the daemon side: every client sees torn connections and slow responses.
-ECL_FAULT='svc.net.read=fail,prob=0.003,seed=9;svc.net.write=fail,prob=0.003,seed=11;svc.net.read=delay,arg=2000,prob=0.02,seed=7' \
-  "$CCD" --vertices=20000 --unix="$SOCK" --wal="$WAL" --wal-fsync=batch \
-         --ready-file="$WORK/ready1" >"$CCD1_LOG" 2>&1 &
-CCD_PID=$!
-wait_ready "$WORK/ready1" "$CCD_PID" "$CCD1_LOG"
-
-echo "== chaos load (background)"
-"$LOADGEN" --unix="$SOCK" --threads=3 --duration-ms=5000 --batch=32 \
-           --ingest-frac=0.5 --seed=3 --chaos --acked-file="$ACKED" \
-           >"$LOADGEN_LOG" 2>&1 &
-LOADGEN_PID=$!
-
-sleep 1.5
-echo "== SIGKILL mid-run"
-kill -9 "$CCD_PID"
-wait "$CCD_PID" 2>/dev/null || true
-CCD_PID=
-
-sleep 0.3
-echo "== restarting on the same WAL"
-"$CCD" --vertices=20000 --unix="$SOCK" --wal="$WAL" --wal-fsync=batch \
-       --ready-file="$WORK/ready2" >"$CCD2_LOG" 2>&1 &
-CCD_PID=$!
-wait_ready "$WORK/ready2" "$CCD_PID" "$CCD2_LOG"
-grep -q "^wal .*replayed" "$CCD2_LOG" || {
-  echo "restart did not report WAL replay:"; cat "$CCD2_LOG"; exit 1; }
-
-echo "== waiting for the load generator to ride out the outage"
-wait "$LOADGEN_PID"
-LOADGEN_EXIT=$?
-LOADGEN_PID=
-[[ "$LOADGEN_EXIT" -eq 0 ]] || {
-  echo "loadgen exit code $LOADGEN_EXIT:"; cat "$LOADGEN_LOG"; exit 1; }
-grep -E "resilience:" "$LOADGEN_LOG" || true
-[[ -s "$ACKED" ]] || { echo "no acked batches recorded"; exit 1; }
-
-echo "== verifying every acked edge against the revived daemon"
-python3 - "$SOCK" "$ACKED" <<'PYEOF'
+# Wire-level verifier: drains the queue, checks health, then checks every
+# acked edge. argv: <sock> <acked-file> <recovery: replay|any>
+VERIFY="$WORK/verify.py"
+cat >"$VERIFY" <<'PYEOF'
 import socket, struct, sys, time
 
-sock_path, acked_path = sys.argv[1], sys.argv[2]
+sock_path, acked_path, recovery = sys.argv[1], sys.argv[2], sys.argv[3]
 
 def recv_exact(s, n):
     buf = b''
@@ -127,26 +97,41 @@ s.connect(sock_path)
 
 # Drain: batches acked in the loadgen's final moments may still sit in the
 # admission queue; wait for queue_depth == 0 before reading (kStats = 5).
+# unpack_from keeps this robust to fields appended to the stats body.
 for _ in range(200):
     status, body = request(s, 5)
     assert status == 0, f'stats status {status}'
-    queue_depth = struct.unpack('<9Q', body)[6]
+    queue_depth = struct.unpack_from('<Q', body, 6 * 8)[0]
     if queue_depth == 0:
         break
     time.sleep(0.05)
 else:
     sys.exit('ingest queue never drained after restart')
 
-# kHealth (7): the revived daemon must be fully healthy, with a WAL.
+# kHealth (7): the revived daemon must be fully healthy, with a WAL. New
+# checkpoint fields are appended after the original 4 x u8 + 6 x u64 body.
 status, body = request(s, 7)
 assert status == 0, f'health status {status}'
 degraded, worker_alive, wal_enabled, wal_healthy = struct.unpack_from('<4B', body, 0)
 replayed = struct.unpack_from('<Q', body, 4 + 4 * 8)[0]
+ckpt_enabled = struct.unpack_from('<B', body, 4 + 6 * 8)[0]
+last_ckpt_epoch, = struct.unpack_from('<Q', body, 4 + 6 * 8 + 1 + 8)
+wal_segments, = struct.unpack_from('<Q', body, 4 + 6 * 8 + 1 + 3 * 8)
 assert not degraded, 'daemon is degraded after restart'
 assert worker_alive and wal_enabled and wal_healthy, \
     f'bad health: worker={worker_alive} wal={wal_enabled}/{wal_healthy}'
-print(f'health ok; {replayed} edges replayed from the WAL')
-assert replayed > 0, 'expected a non-empty WAL replay'
+assert wal_segments >= 1, f'wal enabled but {wal_segments} segments'
+print(f'health ok; replayed={replayed} ckpt_epoch={last_ckpt_epoch} '
+      f'segments={wal_segments}')
+if recovery == 'replay':
+    assert replayed > 0, 'expected a non-empty WAL replay'
+else:
+    # Checkpoint scenarios: recovery may come from the checkpoint (epoch>0),
+    # the WAL tail, or both — but it must come from somewhere.
+    assert replayed > 0 or last_ckpt_epoch > 0, \
+        'restart recovered neither a checkpoint nor any WAL records'
+if ckpt_enabled and recovery == 'ckpt':
+    assert last_ckpt_epoch > 0, 'expected recovery from a checkpoint'
 
 # kConnected (2) in kFresh mode (reads the live union-find, so edges applied
 # after the restart count too). acked => durable: every acked edge must be
@@ -164,13 +149,113 @@ if lost:
 print(f'all {len(edges)} acked edges survived the crash')
 PYEOF
 
-echo "== graceful shutdown"
-"$CLIENT" --unix="$SOCK" health
-"$CLIENT" --unix="$SOCK" shutdown
-wait "$CCD_PID"
-CCD_EXIT=$?
-CCD_PID=
-[[ "$CCD_EXIT" -eq 0 ]] || { echo "daemon exit code $CCD_EXIT"; cat "$CCD2_LOG"; exit 1; }
-grep -q "^shutdown:" "$CCD2_LOG" || { echo "no shutdown line:"; cat "$CCD2_LOG"; exit 1; }
+# run_scenario <name> <run1-env> <recovery-mode> <corrupt-newest-ckpt> [daemon args...]
+run_scenario() {
+  local name=$1 env1=$2 recovery=$3 corrupt=$4
+  shift 4
+  local dir="$WORK/$name"
+  mkdir -p "$dir"
+  local sock="$dir/ccd.sock" acked="$dir/acked.txt"
+  local log1="$dir/ccd1.log" log2="$dir/ccd2.log" loadlog="$dir/loadgen.log"
+
+  echo "==== scenario: $name"
+  echo "== starting ecl_ccd (run 1)"
+  env $env1 "$CCD" --vertices=20000 --unix="$sock" --wal-fsync=batch \
+      --ready-file="$dir/ready1" "$@" >"$log1" 2>&1 &
+  CCD_PID=$!
+  wait_ready "$dir/ready1" "$CCD_PID" "$log1"
+
+  echo "== chaos load (background)"
+  "$LOADGEN" --unix="$sock" --threads=3 --duration-ms=5000 --batch=32 \
+             --ingest-frac=0.5 --seed=3 --chaos --acked-file="$acked" \
+             >"$loadlog" 2>&1 &
+  LOADGEN_PID=$!
+
+  sleep 1.5
+  echo "== SIGKILL mid-run"
+  kill -9 "$CCD_PID"
+  wait "$CCD_PID" 2>/dev/null || true
+  CCD_PID=
+
+  if [[ "$corrupt" == 1 ]]; then
+    echo "== corrupting the newest checkpoint"
+    python3 - "$dir" <<'PYEOF'
+import glob, sys
+files = sorted(glob.glob(sys.argv[1] + '/ckpt.[0-9]*'))
+if not files:
+    sys.exit('no checkpoint files to corrupt')
+newest = files[-1]
+with open(newest, 'r+b') as f:
+    f.seek(16)  # inside the payload: breaks the CRC
+    f.write(b'\xde\xad\xbe\xef')
+print(f'corrupted {newest} ({len(files)} checkpoints on disk)')
+PYEOF
+  fi
+
+  sleep 0.3
+  echo "== restarting on the same on-disk state"
+  "$CCD" --vertices=20000 --unix="$sock" --wal-fsync=batch \
+         --ready-file="$dir/ready2" "$@" >"$log2" 2>&1 &
+  CCD_PID=$!
+  wait_ready "$dir/ready2" "$CCD_PID" "$log2"
+  grep -q "^wal .*replayed" "$log2" || {
+    echo "restart did not report WAL replay:"; cat "$log2"; exit 1; }
+
+  echo "== waiting for the load generator to ride out the outage"
+  local loadgen_exit=0
+  wait "$LOADGEN_PID" || loadgen_exit=$?
+  LOADGEN_PID=
+  [[ "$loadgen_exit" -eq 0 ]] || {
+    echo "loadgen exit code $loadgen_exit:"; cat "$loadlog"; exit 1; }
+  grep -E "resilience:" "$loadlog" || true
+  [[ -s "$acked" ]] || { echo "no acked batches recorded"; exit 1; }
+
+  echo "== verifying every acked edge against the revived daemon"
+  python3 "$VERIFY" "$sock" "$acked" "$recovery"
+
+  echo "== graceful shutdown"
+  "$CLIENT" --unix="$sock" health
+  "$CLIENT" --unix="$sock" shutdown
+  local ccd_exit=0
+  wait "$CCD_PID" || ccd_exit=$?
+  CCD_PID=
+  [[ "$ccd_exit" -eq 0 ]] || { echo "daemon exit code $ccd_exit"; cat "$log2"; exit 1; }
+  grep -q "^shutdown:" "$log2" || { echo "no shutdown line:"; cat "$log2"; exit 1; }
+  echo "==== scenario $name: OK"
+}
+
+# Baseline (PR 3): WAL only, low-probability socket read/write failures plus
+# occasional 2 ms read delays — every client sees torn connections and slow
+# responses, and the restart must replay the WAL.
+run_scenario wal-replay \
+  'ECL_FAULT=svc.net.read=fail,prob=0.003,seed=9;svc.net.write=fail,prob=0.003,seed=11;svc.net.read=delay,arg=2000,prob=0.02,seed=7' \
+  replay 0 \
+  --wal="$WORK/wal-replay/edges.wal"
+
+# SIGKILL mid-checkpoint: checkpoints every 150 ms, each write stalled 200 ms
+# by the fault, so the kill at 1.5 s lands inside a checkpoint write with
+# high probability. The torn .tmp must never be loaded.
+run_scenario mid-checkpoint \
+  'ECL_FAULT=svc.ckpt.write=delay,arg=200000' \
+  any 0 \
+  --wal="$WORK/mid-checkpoint/edges.wal" \
+  --checkpoint="$WORK/mid-checkpoint/ckpt" --checkpoint-interval-ms=150
+
+# SIGKILL mid-rotation: 8 KiB segments force constant rotation; half the
+# rotations are stalled 20 ms so the kill lands mid-rotation.
+run_scenario mid-rotation \
+  'ECL_FAULT=svc.wal.rotate=delay,arg=20000,prob=0.5,seed=5' \
+  any 0 \
+  --wal="$WORK/mid-rotation/edges.wal" --wal-segment-bytes=8192 \
+  --checkpoint="$WORK/mid-rotation/ckpt" --checkpoint-interval-ms=200
+
+# Corrupt newest checkpoint: frequent checkpoints build a chain, the newest
+# is corrupted after the kill, and the loader must fall back to the previous
+# one — whose WAL segments retention deliberately kept around.
+run_scenario corrupt-newest \
+  'ECL_FAULT=' \
+  any 1 \
+  --wal="$WORK/corrupt-newest/edges.wal" \
+  --checkpoint="$WORK/corrupt-newest/ckpt" --checkpoint-interval-ms=150
 
 echo "svc_chaos: OK"

@@ -1,0 +1,114 @@
+// Durable label-array checkpoints for ConnectivityService
+// (docs/ROBUSTNESS.md "Checkpoint format").
+//
+// A checkpoint persists one compacted snapshot — the canonical component
+// labels plus the watermark/epoch that produced them and the WAL segment
+// sequence number it covers. Once a checkpoint is durable, every WAL
+// segment with seq <= wal_seq is redundant for recovery: restart becomes
+// "load checkpoint + replay tail segments" instead of "replay lifetime
+// ingest", which is what bounds recovery time and steady-state disk/memory
+// (ISSUE: static/incremental split of Hong, Dhulipala & Shun,
+// arXiv:2008.11839 — the static snapshot makes history before its
+// watermark redundant).
+//
+// On-disk layout (little-endian):
+//
+//   header   8 bytes   magic "ECLCKPT1"
+//   crc      u32       crc32 of the payload that follows
+//   payload  u32 version (=1) | u32 n | u64 watermark | u64 epoch |
+//            u64 wal_seq | n x u32 labels
+//
+// Checkpoints are numbered files `<base>.000001, <base>.000002, ...`
+// (shared naming with WAL segments, svc/wal.h). Writes are crash-atomic:
+// the image is written to `<base>.tmp`, fsynced, renamed over the final
+// numbered name, and the parent directory fsynced — a crash at any point
+// leaves either the previous checkpoint set intact or a complete new file.
+// The loader walks checkpoints newest-first and falls back past any torn
+// or corrupt file (counted in ecl.svc.ckpt.load_fallbacks). Retention
+// keeps the newest two so that fallback always has somewhere to land.
+//
+// Fault points: svc.ckpt.write, svc.ckpt.fsync, svc.ckpt.rename.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecl::svc {
+
+/// The logical content of one checkpoint.
+struct CheckpointData {
+  std::uint32_t n = 0;            // label-array length (vertex universe)
+  std::uint64_t watermark = 0;    // edges folded into these labels
+  std::uint64_t epoch = 0;        // snapshot epoch the labels came from
+  std::uint64_t wal_seq = 0;      // WAL segments <= this are fully covered
+  std::vector<vertex_t> labels;   // canonical (minimum-ID) component labels
+};
+
+struct CheckpointWriteResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t seq = 0;    // sequence number of the new checkpoint file
+  std::uint64_t bytes = 0;  // size of the written image
+};
+
+struct CheckpointLoadResult {
+  bool ok = false;          // a valid checkpoint was loaded
+  bool found_any = false;   // at least one checkpoint file existed
+  std::string error;        // last failure when !ok && found_any
+  std::uint64_t seq = 0;    // sequence number the data came from
+  std::uint64_t fallbacks = 0;  // newer checkpoints skipped as torn/corrupt
+  CheckpointData data;
+};
+
+/// Owns the `<base>.NNNNNN` checkpoint chain: atomic writes, keep-newest-2
+/// retention, and fallback loading. Not thread-safe — the service calls it
+/// from the compaction thread only (plus the constructor, pre-threads).
+class CheckpointStore {
+ public:
+  /// Binds the store to `base` and scans for existing checkpoints. Never
+  /// creates anything. `keep` is the retention count (min 1; default 2 so
+  /// a corrupt newest checkpoint still has a fallback).
+  void open(std::string base, std::size_t keep = 2);
+
+  /// Loads the newest checkpoint that validates, skipping (not deleting)
+  /// torn/corrupt newer ones. `!found_any` on a fresh directory is not an
+  /// error — the caller starts from scratch.
+  [[nodiscard]] CheckpointLoadResult load_latest_valid() const;
+
+  /// Writes `data` as the next checkpoint (seq = newest + 1) via the
+  /// crash-atomic temp -> fsync -> rename -> dir-fsync protocol, then
+  /// applies retention (unlinking checkpoints beyond the keep count).
+  /// Counted in ecl.svc.ckpt.writes / .write_errors / .bytes.
+  [[nodiscard]] CheckpointWriteResult write(const CheckpointData& data);
+
+  /// The highest WAL segment seq that is safe to retire: the wal_seq of the
+  /// *oldest retained* checkpoint (0 when fewer than `keep` checkpoints
+  /// exist). Using the oldest — not the newest — means a fallback load
+  /// after a corrupt newest checkpoint still finds every segment it needs.
+  [[nodiscard]] std::uint64_t retention_floor_wal_seq() const;
+
+  [[nodiscard]] const std::string& base() const { return base_; }
+  [[nodiscard]] std::uint64_t latest_seq() const;
+  [[nodiscard]] std::size_t count() const { return entries_.size(); }
+
+  /// Parses one checkpoint file. Exposed for tests and fallback logic.
+  [[nodiscard]] static bool read_file(const std::string& path, CheckpointData* out,
+                                      std::string* err);
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::string path;
+    std::uint64_t wal_seq = 0;  // parsed lazily; ~0 when unknown/corrupt
+    bool wal_seq_known = false;
+  };
+
+  std::string base_;
+  std::size_t keep_ = 2;
+  std::vector<Entry> entries_;  // ascending seq
+};
+
+}  // namespace ecl::svc

@@ -136,6 +136,10 @@ void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
       put_u64(out, resp.stats.queue_depth);
       put_u64(out, resp.stats.num_components);
       put_u64(out, resp.stats.num_vertices);
+      put_u64(out, resp.stats.checkpoints);
+      put_u64(out, resp.stats.last_checkpoint_epoch);
+      put_u64(out, resp.stats.wal_segments);
+      put_u64(out, resp.stats.wal_bytes);
       break;
     case MsgType::kHealth:
       put_u8(out, resp.health.degraded ? 1 : 0);
@@ -148,6 +152,12 @@ void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
       put_u64(out, resp.health.wal_records);
       put_u64(out, resp.health.replayed_edges);
       put_u64(out, resp.health.degraded_entries);
+      put_u8(out, resp.health.checkpoint_enabled ? 1 : 0);
+      put_u64(out, resp.health.checkpoints_written);
+      put_u64(out, resp.health.last_checkpoint_epoch);
+      put_u64(out, resp.health.last_checkpoint_age_ms);
+      put_u64(out, resp.health.wal_segments);
+      put_u64(out, resp.health.wal_bytes);
       break;
     case MsgType::kPing:
     case MsgType::kIngest:
@@ -226,7 +236,9 @@ bool decode_response(std::span<const std::uint8_t> payload, Response& resp) {
       if (!r.u64(resp.stats.epoch) || !r.u64(resp.stats.watermark) ||
           !r.u64(resp.stats.applied_edges) || !r.u64(resp.stats.accepted_batches) ||
           !r.u64(resp.stats.applied_batches) || !r.u64(resp.stats.shed_batches) ||
-          !r.u64(resp.stats.queue_depth) || !r.u64(components) || !r.u64(vertices)) {
+          !r.u64(resp.stats.queue_depth) || !r.u64(components) || !r.u64(vertices) ||
+          !r.u64(resp.stats.checkpoints) || !r.u64(resp.stats.last_checkpoint_epoch) ||
+          !r.u64(resp.stats.wal_segments) || !r.u64(resp.stats.wal_bytes)) {
         return false;
       }
       resp.stats.num_components = static_cast<vertex_t>(components);
@@ -247,10 +259,19 @@ bool decode_response(std::span<const std::uint8_t> payload, Response& resp) {
           !r.u64(resp.health.degraded_entries)) {
         return false;
       }
+      std::uint8_t ckpt_enabled = 0;
+      if (!r.u8(ckpt_enabled) || ckpt_enabled > 1 ||
+          !r.u64(resp.health.checkpoints_written) ||
+          !r.u64(resp.health.last_checkpoint_epoch) ||
+          !r.u64(resp.health.last_checkpoint_age_ms) ||
+          !r.u64(resp.health.wal_segments) || !r.u64(resp.health.wal_bytes)) {
+        return false;
+      }
       resp.health.degraded = degraded != 0;
       resp.health.ingest_worker_alive = alive != 0;
       resp.health.wal_enabled = wal_enabled != 0;
       resp.health.wal_healthy = wal_healthy != 0;
+      resp.health.checkpoint_enabled = ckpt_enabled != 0;
       break;
     }
     case MsgType::kPing:

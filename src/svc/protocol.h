@@ -22,15 +22,22 @@
 //   kConnected                    u64 value (0/1)
 //   kComponentOf                  u64 value (label; kInvalidVertex if bad v)
 //   kComponentCount               u64 value
-//   kStats                        9 x u64: epoch, watermark, applied_edges,
+//   kStats                        13 x u64: epoch, watermark, applied_edges,
 //                                 accepted_batches, applied_batches,
 //                                 shed_batches, queue_depth, num_components,
-//                                 num_vertices
+//                                 num_vertices, checkpoints,
+//                                 last_checkpoint_epoch, wal_segments,
+//                                 wal_bytes
 //   kHealth                       4 x u8: degraded, ingest_worker_alive,
 //                                 wal_enabled, wal_healthy; then 6 x u64:
 //                                 queue_depth, staleness_edges,
 //                                 ingest_lag_batches, wal_records,
-//                                 replayed_edges, degraded_entries
+//                                 replayed_edges, degraded_entries; then
+//                                 u8 checkpoint_enabled and 5 x u64:
+//                                 checkpoints_written, last_checkpoint_epoch,
+//                                 last_checkpoint_age_ms, wal_segments,
+//                                 wal_bytes (new fields append at the end so
+//                                 fixed-offset readers keep working)
 //
 // The status byte carries the service's admission/backpressure verdict to
 // the client: a full ingest queue yields kShed — a definitive, visible

@@ -38,7 +38,7 @@ SnapshotPtr make_identity_snapshot(vertex_t n) {
 ConnectivityService::ConnectivityService(vertex_t n, ServiceOptions opts)
     : num_vertices_(n), opts_(opts), live_(n), queue_(opts.queue_capacity) {
   snapshot_.store(make_identity_snapshot(n));
-  init_wal();
+  init_durability();
   start_threads();
 }
 
@@ -63,14 +63,81 @@ ConnectivityService::ConnectivityService(const Graph& seed, ServiceOptions opts)
   snap->build_ms = t.millis();
   snap->num_components = count_labels(snap->labels);
   snapshot_.store(std::move(snap));
-  init_wal();
+  init_durability();
   start_threads();
 }
 
-void ConnectivityService::init_wal() {
+std::uint64_t ConnectivityService::now_ms() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::steady_clock::now() - start_tp_)
+                                        .count());
+}
+
+void ConnectivityService::init_durability() {
+  std::uint64_t covered_seq = 0;  // WAL segments <= this are in the checkpoint
+  if (!opts_.checkpoint_path.empty()) {
+    ckpt_store_.open(opts_.checkpoint_path);
+    auto load = ckpt_store_.load_latest_valid();
+    if (load.found_any && !load.ok) {
+      std::fprintf(stderr,
+                   "[ecl::svc] no valid checkpoint (%s); falling back to full WAL replay\n",
+                   load.error.c_str());
+    }
+    if (load.ok && load.data.n != num_vertices_) {
+      throw std::runtime_error(
+          "ecl::svc checkpoint vertex count mismatch: checkpoint has " +
+          std::to_string(load.data.n) + ", service has " +
+          std::to_string(num_vertices_));
+    }
+    if (load.ok && load.data.watermark < applied_edges_.load(std::memory_order_acquire)) {
+      // Predates the seed graph this ctor was given: folding it in would
+      // drop seed edges from the watermark accounting. Start from the seed.
+      std::fprintf(stderr,
+                   "[ecl::svc] ignoring checkpoint older than the seed graph\n");
+    } else if (load.ok) {
+      base_labels_ = std::move(load.data.labels);
+      base_watermark_ = load.data.watermark;
+      covered_seq = load.data.wal_seq;
+      // Fold the checkpointed components into the live union-find: one
+      // (v, label) union per non-root vertex reconstructs them exactly.
+      std::vector<Edge> fold;
+      for (vertex_t v = 0; v < num_vertices_; ++v) {
+        if (base_labels_[v] != v) fold.emplace_back(v, base_labels_[v]);
+      }
+      live_.add_edges(fold.data(), fold.size());
+      {
+        std::lock_guard<std::mutex> lock(log_mu_);
+        log_.clear();  // seed edges (if any) are covered by the checkpoint
+        applied_edges_.store(base_watermark_, std::memory_order_release);
+      }
+      // Publish the checkpoint's labels directly — no ECL-CC run over
+      // history. This is the bounded-recovery payoff: restart cost is
+      // checkpoint load + tail replay, independent of lifetime ingest.
+      auto snap = std::make_shared<Snapshot>();
+      snap->epoch = load.data.epoch;
+      snap->watermark = base_watermark_;
+      snap->labels = base_labels_;
+      snap->num_components = count_labels(snap->labels);
+      snapshot_.store(std::move(snap));
+      has_ckpt_.store(true, std::memory_order_release);
+      last_ckpt_epoch_.store(load.data.epoch, std::memory_order_relaxed);
+      last_ckpt_watermark_.store(base_watermark_, std::memory_order_relaxed);
+      last_ckpt_ms_.store(now_ms(), std::memory_order_relaxed);
+      ECL_OBS_COUNTER_ADD("ecl.svc.ckpt.loads", 1);
+      ECL_OBS_COUNTER_ADD("ecl.svc.ckpt.loaded_edges", base_watermark_);
+    }
+  }
+
   if (opts_.wal_path.empty()) return;
-  auto rep = WriteAheadLog::replay_and_truncate(opts_.wal_path);
-  if (!rep.ok) {
+  std::string err;
+  if (!SegmentedWal::adopt_legacy(opts_.wal_path, &err)) {
+    throw std::runtime_error("ecl::svc WAL adopt failed: " + err);
+  }
+  auto rep = SegmentedWal::replay(opts_.wal_path, covered_seq);
+  if (!rep.ok || rep.truncate_failed) {
+    // truncate_failed: the recovered edges are fine but the tail segment
+    // still ends in garbage a future append would land after — refuse to
+    // reopen it for writing rather than strand those future records.
     throw std::runtime_error("ecl::svc WAL replay failed: " + rep.error);
   }
   if (!rep.edges.empty()) {
@@ -88,10 +155,14 @@ void ConnectivityService::init_wal() {
     // snapshot must already reflect everything the WAL recovered.
     run_compaction();
   }
-  std::string err;
-  if (!wal_.open(opts_.wal_path, opts_.wal, &err)) {
+  SegmentedWalOptions sopts;
+  sopts.wal = opts_.wal;
+  sopts.segment_bytes = opts_.wal_segment_bytes;
+  if (!wal_.open(opts_.wal_path, sopts, covered_seq + 1, &err)) {
     throw std::runtime_error("ecl::svc WAL open failed: " + err);
   }
+  wal_segments_.store(wal_.segment_count(), std::memory_order_relaxed);
+  wal_bytes_.store(wal_.total_bytes(), std::memory_order_relaxed);
 }
 
 void ConnectivityService::enter_degraded(const char* reason) {
@@ -145,6 +216,8 @@ Admission ConnectivityService::submit(EdgeBatch batch) {
       return Admission::kShed;
     }
     wal_records_.fetch_add(1, std::memory_order_relaxed);
+    wal_segments_.store(wal_.segment_count(), std::memory_order_relaxed);
+    wal_bytes_.store(wal_.total_bytes(), std::memory_order_relaxed);
   }
   return verdict;
 }
@@ -213,16 +286,19 @@ void ConnectivityService::compact_loop() {
       std::max(1, opts_.compact_interval_ms));
   for (;;) {
     bool exiting = false;
+    bool want_ckpt = false;
     {
       std::unique_lock<std::mutex> lock(progress_mu_);
       compact_cv_.wait_for(lock, interval, [&] {
         const auto snap = snapshot_.load(std::memory_order_acquire);
         const std::uint64_t applied = applied_edges_.load(std::memory_order_acquire);
-        return stopping_ || force_watermark_ > snap->watermark ||
+        return stopping_ || force_checkpoint_ || force_watermark_ > snap->watermark ||
                (applied > snap->watermark &&
                 applied - snap->watermark >= opts_.compact_min_new_edges);
       });
       exiting = stopping_;
+      want_ckpt = force_checkpoint_;
+      force_checkpoint_ = false;
     }
     const auto snap = snapshot_.load(std::memory_order_acquire);
     const std::uint64_t applied = applied_edges_.load(std::memory_order_acquire);
@@ -236,24 +312,169 @@ void ConnectivityService::compact_loop() {
                     applied - snap->watermark >= opts_.compact_min_new_edges)) {
       run_compaction();
     }
+    // Checkpoint after compaction so the drained/exit path persists the
+    // final snapshot: a clean stop leaves a checkpoint covering everything,
+    // making the *next* boot instant.
+    maybe_checkpoint(want_ckpt, exiting);
     if (exiting) return;
   }
+}
+
+void ConnectivityService::maybe_checkpoint(bool force, bool exiting) {
+  if (opts_.checkpoint_path.empty()) return;
+  const std::uint64_t applied = applied_edges_.load(std::memory_order_acquire);
+  const bool progressed =
+      !has_ckpt_.load(std::memory_order_acquire) ||
+      applied > last_ckpt_watermark_.load(std::memory_order_relaxed);
+  bool due = force;
+  if (!due && exiting) due = progressed;
+  if (!due && opts_.checkpoint_interval_ms > 0 && progressed && applied > 0) {
+    due = now_ms() - last_ckpt_ms_.load(std::memory_order_relaxed) >=
+          static_cast<std::uint64_t>(opts_.checkpoint_interval_ms);
+  }
+  if (due) (void)do_checkpoint();
+}
+
+bool ConnectivityService::do_checkpoint() {
+  ECL_OBS_SPAN(span, "svc.checkpoint", "svc");
+  Timer t;
+
+  // The cut. Rotating under wal_mu_ seals every record appended so far;
+  // reading accepted_batches_ inside the same critical section means every
+  // batch whose record landed in a sealed segment is counted (submit()
+  // increments before it appends, and its wal_mu_ release happens-before
+  // our acquire). Waiting for applied >= that count below therefore
+  // guarantees the compacted snapshot covers all sealed segments.
+  std::uint64_t cut_seq = 0;
+  std::uint64_t accepted_at_cut = 0;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    cut_seq = wal_.active_seq();
+    if (wal_.is_open()) {
+      std::string err;
+      if (!wal_.rotate(&err)) {
+        wal_healthy_.store(false, std::memory_order_release);
+        enter_degraded(("WAL rotate failed: " + err).c_str());
+        // The sealed segments (<= cut_seq) are still intact on disk; the
+        // checkpoint below remains correct and worth writing.
+      }
+    }
+    accepted_at_cut = accepted_batches_.load(std::memory_order_acquire);
+  }
+  {
+    std::unique_lock<std::mutex> lock(progress_mu_);
+    progress_cv_.wait(lock, [&] {
+      return applied_batches_.load(std::memory_order_acquire) >= accepted_at_cut ||
+             !ingest_alive_.load(std::memory_order_acquire) || stopping_;
+    });
+    if (applied_batches_.load(std::memory_order_acquire) < accepted_at_cut) {
+      // Worker died (or we are draining) with batches unapplied: a
+      // checkpoint here could cover sealed records that were never folded
+      // in. Skip; the WAL still has everything.
+      ckpt_attempts_.fetch_add(1, std::memory_order_release);
+      compact_cv_.notify_all();
+      return false;
+    }
+  }
+  run_compaction();
+  const auto snap = snapshot_.load(std::memory_order_acquire);
+
+  CheckpointData data;
+  data.n = static_cast<std::uint32_t>(num_vertices_);
+  data.watermark = snap->watermark;
+  data.epoch = snap->epoch;
+  data.wal_seq = cut_seq;
+  data.labels = snap->labels;
+  auto wr = ckpt_store_.write(data);
+  if (!wr.ok) {
+    std::fprintf(stderr, "[ecl::svc] checkpoint write failed: %s\n", wr.error.c_str());
+    ckpt_attempts_.fetch_add(1, std::memory_order_release);
+    compact_cv_.notify_all();
+    return false;
+  }
+
+  // The checkpoint is durable: everything at or before its watermark is
+  // redundant in memory. Trim log_ to the un-checkpointed suffix and make
+  // the labels the new compaction base.
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    const std::uint64_t drop = snap->watermark - base_watermark_;
+    log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(drop));
+    ECL_OBS_GAUGE_SET("ecl.svc.log.edges", static_cast<double>(log_.size()));
+  }
+  base_labels_ = std::move(data.labels);
+  base_watermark_ = snap->watermark;
+
+  has_ckpt_.store(true, std::memory_order_release);
+  ckpt_written_.fetch_add(1, std::memory_order_release);
+  last_ckpt_epoch_.store(snap->epoch, std::memory_order_relaxed);
+  last_ckpt_watermark_.store(snap->watermark, std::memory_order_relaxed);
+  last_ckpt_ms_.store(now_ms(), std::memory_order_relaxed);
+  ECL_OBS_GAUGE_SET("ecl.svc.ckpt.last_epoch", static_cast<double>(snap->epoch));
+  ECL_OBS_HISTOGRAM_RECORD("ecl.svc.ckpt_ms", ::ecl::obs::Histogram::pow2_bounds(16),
+                           static_cast<std::uint64_t>(t.millis()));
+
+  // Retention: retire segments the *oldest retained* checkpoint covers, so
+  // a fallback load (corrupt newest checkpoint) never misses a segment.
+  const std::uint64_t floor = ckpt_store_.retention_floor_wal_seq();
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (floor > 0) (void)wal_.retire_through(floor);
+    wal_segments_.store(wal_.segment_count(), std::memory_order_relaxed);
+    wal_bytes_.store(wal_.total_bytes(), std::memory_order_relaxed);
+  }
+  span.arg("epoch", snap->epoch);
+  span.arg("watermark", snap->watermark);
+  span.arg("bytes", wr.bytes);
+  ckpt_attempts_.fetch_add(1, std::memory_order_release);
+  compact_cv_.notify_all();
+  return true;
+}
+
+bool ConnectivityService::checkpoint_now() {
+  if (opts_.checkpoint_path.empty() || stopped_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  const std::uint64_t written_before = ckpt_written_.load(std::memory_order_acquire);
+  const std::uint64_t target = ckpt_attempts_.load(std::memory_order_acquire) + 1;
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    force_checkpoint_ = true;
+  }
+  compact_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(progress_mu_);
+  compact_cv_.wait(lock, [&] {
+    return ckpt_attempts_.load(std::memory_order_acquire) >= target ||
+           stopped_.load(std::memory_order_acquire);
+  });
+  return ckpt_written_.load(std::memory_order_acquire) > written_before;
 }
 
 void ConnectivityService::run_compaction() {
   ECL_OBS_SPAN(span, "svc.compact", "svc");
   Timer t;
   std::vector<Edge> edges;
+  std::uint64_t watermark = 0;
   {
     std::lock_guard<std::mutex> lock(log_mu_);
     edges = log_;
+    // log_ holds only the suffix since the last checkpoint; the watermark
+    // stays cumulative so staleness arithmetic against applied_edges_ holds.
+    watermark = base_watermark_ + edges.size();
   }
-  const std::uint64_t watermark = edges.size();
 
   auto snap = std::make_shared<Snapshot>();
   snap->epoch = snapshot_.load(std::memory_order_acquire)->epoch + 1;
   snap->watermark = watermark;
   if (num_vertices_ > 0) {
+    // Seed the graph with the checkpointed components: one (v, label) edge
+    // per non-root vertex reproduces them without replaying their history —
+    // compaction cost is O(n + tail), not O(lifetime ingest).
+    if (!base_labels_.empty()) {
+      for (vertex_t v = 0; v < num_vertices_; ++v) {
+        if (base_labels_[v] != v) edges.emplace_back(v, base_labels_[v]);
+      }
+    }
     const Graph g = build_graph(num_vertices_, edges);
     EclOptions eopts;
     eopts.num_threads = opts_.num_threads;
@@ -321,7 +542,10 @@ void ConnectivityService::stop() {
     std::lock_guard<std::mutex> lock(progress_mu_);
     stopping_ = true;
   }
+  // Both cvs, *before* the join: the compaction thread may be blocked in
+  // do_checkpoint()'s progress_cv_ wait, whose predicate reads stopping_.
   compact_cv_.notify_all();
+  progress_cv_.notify_all();
   if (compact_thread_.joinable()) compact_thread_.join();
   progress_cv_.notify_all();
   compact_cv_.notify_all();
@@ -367,6 +591,10 @@ ServiceStats ConnectivityService::stats() const {
   s.queue_depth = queue_.size();
   s.num_components = snap->num_components;
   s.num_vertices = num_vertices_;
+  s.checkpoints = ckpt_written_.load(std::memory_order_relaxed);
+  s.last_checkpoint_epoch = last_ckpt_epoch_.load(std::memory_order_relaxed);
+  s.wal_segments = wal_segments_.load(std::memory_order_relaxed);
+  s.wal_bytes = wal_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -386,6 +614,15 @@ ServiceHealth ConnectivityService::health() const {
   h.wal_records = wal_records_.load(std::memory_order_relaxed);
   h.replayed_edges = replayed_edges_;
   h.degraded_entries = degraded_entries_.load(std::memory_order_relaxed);
+  h.checkpoint_enabled = !opts_.checkpoint_path.empty();
+  h.checkpoints_written = ckpt_written_.load(std::memory_order_relaxed);
+  h.last_checkpoint_epoch = last_ckpt_epoch_.load(std::memory_order_relaxed);
+  h.last_checkpoint_age_ms =
+      has_ckpt_.load(std::memory_order_acquire)
+          ? now_ms() - last_ckpt_ms_.load(std::memory_order_relaxed)
+          : 0;
+  h.wal_segments = wal_segments_.load(std::memory_order_relaxed);
+  h.wal_bytes = wal_bytes_.load(std::memory_order_relaxed);
   return h;
 }
 

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -40,6 +41,7 @@
 #include "common/types.h"
 #include "core/incremental.h"
 #include "graph/graph.h"
+#include "svc/checkpoint.h"
 #include "svc/queue.h"
 #include "svc/snapshot.h"
 #include "svc/wal.h"
@@ -60,14 +62,29 @@ struct ServiceOptions {
   /// Test hook: artificial delay (microseconds) per applied batch, to make
   /// backpressure reproducible in unit tests. 0 in production.
   int ingest_delay_us = 0;
-  /// Write-ahead log path; empty disables the WAL. When set, the
-  /// constructor replays the log (truncating any torn tail), folds the
-  /// recovered edges into the live structure and initial snapshot, and
-  /// appends every subsequently accepted batch before acking it
-  /// (docs/ROBUSTNESS.md "Crash recovery").
+  /// Write-ahead log base path; empty disables the WAL. When set, the
+  /// constructor replays the segment chain (`<path>.000001, ...`,
+  /// truncating any torn tail in the final segment), folds the recovered
+  /// edges into the live structure and initial snapshot, and appends every
+  /// subsequently accepted batch before acking it (docs/ROBUSTNESS.md
+  /// "Crash recovery"). A pre-segmentation single-file WAL at `path` is
+  /// adopted as segment 1 on first open.
   std::string wal_path;
   /// Durability policy for the WAL (ignored when wal_path is empty).
   WalOptions wal;
+  /// Rotate WAL segments once the active one reaches this size. 0 keeps a
+  /// single segment (rotation still happens at every checkpoint cut).
+  std::uint64_t wal_segment_bytes = 64ull << 20;
+  /// Checkpoint base path; empty disables checkpoints. When set, the
+  /// compaction thread persists the snapshot's label array every
+  /// checkpoint_interval_ms, trims the in-memory edge log to the
+  /// un-checkpointed suffix, and retires WAL segments the checkpoint chain
+  /// covers — bounding restart time, disk, and memory by the tail instead
+  /// of lifetime ingest (docs/ROBUSTNESS.md "Checkpoints").
+  std::string checkpoint_path;
+  /// Minimum period between automatic checkpoints (0 = only explicit
+  /// checkpoint_now() / the final checkpoint on clean stop()).
+  int checkpoint_interval_ms = 5000;
 };
 
 /// Which consistency a read wants (docs/SERVICE.md "Consistency model").
@@ -87,6 +104,10 @@ struct ServiceStats {
   std::uint64_t queue_depth = 0;
   vertex_t num_components = 0;        // of the published snapshot
   vertex_t num_vertices = 0;
+  std::uint64_t checkpoints = 0;            // written by this process
+  std::uint64_t last_checkpoint_epoch = 0;  // 0 if none written or loaded
+  std::uint64_t wal_segments = 0;           // retained segments, active incl.
+  std::uint64_t wal_bytes = 0;              // on-disk bytes across them
 };
 
 /// One liveness/durability sample, for the kHealth RPC and the chaos tests
@@ -102,6 +123,12 @@ struct ServiceHealth {
   std::uint64_t wal_records = 0;        // records appended this process
   std::uint64_t replayed_edges = 0;     // edges recovered at startup
   std::uint64_t degraded_entries = 0;   // times degraded mode was entered
+  bool checkpoint_enabled = false;
+  std::uint64_t checkpoints_written = 0;      // by this process
+  std::uint64_t last_checkpoint_epoch = 0;    // from a write or startup load
+  std::uint64_t last_checkpoint_age_ms = 0;   // since last write/load; 0 if none
+  std::uint64_t wal_segments = 0;             // retained segments, active incl.
+  std::uint64_t wal_bytes = 0;                // on-disk bytes across them
 };
 
 class ConnectivityService {
@@ -141,6 +168,12 @@ class ConnectivityService {
   /// flush(), then forces a compaction whose watermark covers every edge
   /// applied at call time, and waits for it. Returns the new epoch.
   std::uint64_t compact_now();
+
+  /// Forces the compaction thread to write a checkpoint now and waits for
+  /// the attempt to finish. Returns true if a checkpoint was durably
+  /// written; false when checkpoints are disabled, the service is stopped,
+  /// or the write failed (counted in ecl.svc.ckpt.write_errors).
+  [[nodiscard]] bool checkpoint_now();
 
   /// Graceful drain-and-shutdown: refuses new batches, applies everything
   /// already admitted, runs a final compaction (so the last snapshot
@@ -191,11 +224,23 @@ class ConnectivityService {
   void ingest_loop();
   void ingest_loop_body();
   void compact_loop();
-  /// Builds and publishes a snapshot covering the log's current contents.
+  /// Builds and publishes a snapshot covering base_labels_ (the last
+  /// checkpoint's components) plus the log's current contents.
   void run_compaction();
-  /// Replays + opens the WAL (throws std::runtime_error on an unusable
-  /// file), folding recovered edges into live_/log_. Ctor-only.
-  void init_wal();
+  /// Ctor-only recovery: load the newest valid checkpoint (publishing its
+  /// labels as the initial snapshot — no ECL-CC run), replay only the WAL
+  /// tail segments past it, then open the WAL for appending. Throws
+  /// std::runtime_error on an unusable WAL/checkpoint state.
+  void init_durability();
+  /// Compaction-thread: writes a checkpoint when forced, due by interval,
+  /// or on the final drain — see do_checkpoint().
+  void maybe_checkpoint(bool force, bool exiting);
+  /// The checkpoint cut: rotate the WAL, wait for every batch accepted at
+  /// the cut to be applied, compact, persist the labels, trim log_ to the
+  /// un-checkpointed suffix, retire covered WAL segments.
+  bool do_checkpoint();
+  /// Milliseconds since service construction (steady clock).
+  [[nodiscard]] std::uint64_t now_ms() const;
   /// One-way transition into read-only mode; logs and counts the entry.
   void enter_degraded(const char* reason);
 
@@ -205,9 +250,16 @@ class ConnectivityService {
   IncrementalCC live_;
   BoundedQueue<EdgeBatch> queue_;
 
-  // Append-only edge log; the compaction thread copies it under log_mu_.
+  // Edge log since the last checkpoint; the compaction thread copies it
+  // under log_mu_ and trims the checkpointed prefix after each checkpoint.
   std::mutex log_mu_;
   std::vector<Edge> log_;
+
+  // Checkpoint base: components already folded into the last checkpoint.
+  // Compaction seeds its graph from these labels instead of replaying the
+  // full history. Touched only by the compaction thread and the ctor.
+  std::vector<vertex_t> base_labels_;
+  std::uint64_t base_watermark_ = 0;
 
   std::atomic<SnapshotPtr> snapshot_;
 
@@ -221,6 +273,7 @@ class ConnectivityService {
   std::atomic<std::uint64_t> shed_batches_{0};
   std::atomic<std::uint64_t> applied_edges_{0};
   std::uint64_t force_watermark_ = 0;  // compaction must reach this
+  bool force_checkpoint_ = false;      // checkpoint_now() pending
   bool stopping_ = false;
 
   std::thread ingest_thread_;
@@ -229,15 +282,30 @@ class ConnectivityService {
   std::atomic<bool> stopped_{false};
 
   // Robustness state. wal_mu_ serializes appends from concurrent submit()
-  // callers; the flags are read lock-free by health() and submit().
+  // callers (and the checkpoint cut's rotation/retirement against them);
+  // the flags are read lock-free by health() and submit().
   std::mutex wal_mu_;
-  WriteAheadLog wal_;
+  SegmentedWal wal_;
   std::uint64_t replayed_edges_ = 0;
   std::atomic<std::uint64_t> wal_records_{0};
   std::atomic<bool> wal_healthy_{true};
   std::atomic<bool> degraded_{false};
   std::atomic<bool> ingest_alive_{true};
   std::atomic<std::uint64_t> degraded_entries_{0};
+
+  // Checkpoint state. The store is compaction-thread-only (plus ctor); the
+  // atomics are read lock-free by health()/stats().
+  CheckpointStore ckpt_store_;
+  std::chrono::steady_clock::time_point start_tp_ =
+      std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> ckpt_written_{0};
+  std::atomic<std::uint64_t> ckpt_attempts_{0};   // writes tried (ok or not)
+  std::atomic<std::uint64_t> last_ckpt_epoch_{0};
+  std::atomic<std::uint64_t> last_ckpt_watermark_{0};
+  std::atomic<std::uint64_t> last_ckpt_ms_{0};    // now_ms() of write/load
+  std::atomic<bool> has_ckpt_{false};             // written or loaded one
+  std::atomic<std::uint64_t> wal_segments_{0};
+  std::atomic<std::uint64_t> wal_bytes_{0};
 };
 
 }  // namespace ecl::svc

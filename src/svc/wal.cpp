@@ -1,11 +1,14 @@
 #include "svc/wal.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "fault/fault.h"
@@ -69,6 +72,60 @@ void set_error(std::string* err, const std::string& what) {
 
 }  // namespace
 
+std::string numbered_path(const std::string& base, std::uint64_t seq) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".%06llu",
+                static_cast<unsigned long long>(seq));
+  return base + suffix;
+}
+
+std::vector<NumberedFile> list_numbered_files(const std::string& base) {
+  std::vector<NumberedFile> out;
+  const auto slash = base.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : base.substr(0, slash);
+  const std::string stem =
+      (slash == std::string::npos ? base : base.substr(slash + 1)) + ".";
+
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() != stem.size() + 6 || name.compare(0, stem.size(), stem) != 0) {
+      continue;
+    }
+    std::uint64_t seq = 0;
+    bool numeric = true;
+    for (std::size_t i = stem.size(); i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        numeric = false;
+        break;
+      }
+      seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    }
+    if (!numeric || seq == 0) continue;
+    NumberedFile f;
+    f.seq = seq;
+    f.path = (dir == "." && slash == std::string::npos ? name : dir + "/" + name);
+    struct stat st{};
+    if (::stat(f.path.c_str(), &st) == 0) f.bytes = static_cast<std::uint64_t>(st.st_size);
+    out.push_back(std::move(f));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const NumberedFile& a, const NumberedFile& b) { return a.seq < b.seq; });
+  return out;
+}
+
+bool fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
 std::uint32_t crc32(const void* data, std::size_t n) {
   static const auto table = [] {
     std::array<std::uint32_t, 256> t{};
@@ -122,6 +179,15 @@ bool WriteAheadLog::open(const std::string& path, WalOptions opts, std::string* 
       ::close(fd);
       return false;
     }
+    // A brand-new (or just-headered) file: make the file itself and its
+    // directory entry durable now. Without the directory fsync a crash
+    // right after creation can lose the WAL file wholesale — and with it
+    // every batch acked against it (docs/ROBUSTNESS.md).
+    if (::fsync(fd) != 0 || !fsync_parent_dir(path)) {
+      set_error(err, "wal create-sync " + path);
+      ::close(fd);
+      return false;
+    }
   } else {
     char magic[sizeof(kMagic)] = {};
     if (st.st_size < static_cast<off_t>(sizeof(kMagic)) ||
@@ -136,6 +202,8 @@ bool WriteAheadLog::open(const std::string& path, WalOptions opts, std::string* 
   opts_ = opts;
   path_ = path;
   appended_records_ = 0;
+  file_bytes_ = std::max<std::uint64_t>(static_cast<std::uint64_t>(st.st_size),
+                                        sizeof(kMagic));
   unsynced_appends_ = 0;
   return true;
 }
@@ -154,7 +222,20 @@ bool WriteAheadLog::append(const std::vector<Edge>& batch) {
   put_u32(rec.data(), payload_len);
   put_u32(rec.data() + 4, crc32(rec.data() + kRecordHeaderBytes, payload_len));
 
-  const bool append_fault = ECL_FAULT_POINT("svc.wal.append").fired();
+  // Injected faults: kFail dies before any byte lands, kShort writes `arg`
+  // bytes of the record first (the mid-record crash the torn-tail replay
+  // must cut back off), kDelay just stalls the append.
+  const auto outcome = ECL_FAULT_POINT("svc.wal.append");
+  fault::apply_delay(outcome);
+  bool append_fault = outcome.action == fault::Action::kFail ||
+                      outcome.action == fault::Action::kOom ||
+                      outcome.action == fault::Action::kKill;
+  if (outcome.action == fault::Action::kShort) {
+    const std::size_t partial = std::min<std::size_t>(outcome.arg, rec.size());
+    (void)write_all(fd_, rec.data(), partial);
+    file_bytes_ += partial;
+    append_fault = true;
+  }
   if (append_fault || !write_all(fd_, rec.data(), rec.size())) {
     // A record may have been half-written; the half-record is exactly the
     // torn tail replay knows how to cut off. Close so the service degrades.
@@ -162,6 +243,7 @@ bool WriteAheadLog::append(const std::vector<Edge>& batch) {
     close();
     return false;
   }
+  file_bytes_ += rec.size();
   ++appended_records_;
   ++unsynced_appends_;
   ECL_OBS_COUNTER_ADD("ecl.svc.wal.appends", 1);
@@ -197,9 +279,10 @@ void WriteAheadLog::close() {
   fd_ = -1;
 }
 
-WalReplayResult WriteAheadLog::replay_and_truncate(const std::string& path) {
+WalReplayResult WriteAheadLog::replay_and_truncate(const std::string& path,
+                                                   bool truncate_tail) {
   WalReplayResult out;
-  const int fd = ::open(path.c_str(), O_RDWR);
+  const int fd = ::open(path.c_str(), truncate_tail ? O_RDWR : O_RDONLY);
   if (fd < 0) {
     if (errno == ENOENT) {
       out.ok = true;  // first boot: nothing to replay
@@ -218,8 +301,18 @@ WalReplayResult WriteAheadLog::replay_and_truncate(const std::string& path) {
 
   const auto truncate_to = [&](std::uint64_t offset) {
     out.truncated_bytes = file_size - offset;
-    (void)::ftruncate(fd, static_cast<off_t>(offset));
-    (void)::fsync(fd);
+    // Read-only validation (sealed segments): report the damage, never cut.
+    if (!truncate_tail) return;
+    // A truncate that silently fails leaves the corrupt tail in place, and
+    // the next append would write *after* it — every record from then on
+    // would be unreachable by replay. Surface the failure so the caller
+    // refuses to reopen the file for appending.
+    if (ECL_FAULT_POINT("svc.wal.truncate").fired() ||
+        ::ftruncate(fd, static_cast<off_t>(offset)) != 0 || ::fsync(fd) != 0) {
+      out.truncate_failed = true;
+      out.error = "wal truncate " + path + ": " + std::strerror(errno);
+      ECL_OBS_COUNTER_ADD("ecl.svc.wal.truncate_errors", 1);
+    }
     ECL_OBS_COUNTER_ADD("ecl.svc.wal.truncated_bytes", out.truncated_bytes);
   };
 
@@ -289,6 +382,170 @@ WalReplayResult WriteAheadLog::replay_and_truncate(const std::string& path) {
   ECL_OBS_COUNTER_ADD("ecl.svc.wal.replayed_records", out.records);
   ECL_OBS_COUNTER_ADD("ecl.svc.wal.replayed_edges", out.edges.size());
   return out;
+}
+
+// ------------------------------------------------------- SegmentedWal ----
+
+bool SegmentedWal::adopt_legacy(const std::string& base, std::string* err) {
+  struct stat st{};
+  if (::stat(base.c_str(), &st) != 0) {
+    if (errno == ENOENT) return true;  // nothing to adopt
+    set_error(err, "wal adopt stat " + base);
+    return false;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    if (err != nullptr) *err = "wal adopt " + base + ": not a regular file";
+    return false;
+  }
+  const std::string target = numbered_path(base, 1);
+  struct stat t{};
+  if (::stat(target.c_str(), &t) == 0) {
+    if (err != nullptr) {
+      *err = "wal adopt " + base + ": both legacy file and " + target + " exist";
+    }
+    return false;
+  }
+  if (::rename(base.c_str(), target.c_str()) != 0) {
+    set_error(err, "wal adopt rename " + base);
+    return false;
+  }
+  if (!fsync_parent_dir(target)) {
+    set_error(err, "wal adopt dir-sync " + base);
+    return false;
+  }
+  return true;
+}
+
+SegmentedWal::ReplayResult SegmentedWal::replay(const std::string& base,
+                                                std::uint64_t after_seq) {
+  ReplayResult out;
+  const auto segments = list_numbered_files(base);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& seg = segments[i];
+    if (seg.seq <= after_seq) continue;
+    const bool is_last = i + 1 == segments.size();
+    // Sealed segments are validated read-only: damage there is refused
+    // below, and truncating would destroy any acked records past the
+    // damage point that a manual repair could still recover.
+    auto rep = WriteAheadLog::replay_and_truncate(seg.path, /*truncate_tail=*/is_last);
+    if (!rep.ok) {
+      out.error = rep.error;
+      return out;
+    }
+    if (!is_last && (rep.truncated_bytes > 0 || rep.truncate_failed)) {
+      // Only the active (final) segment can legally carry a torn tail — a
+      // damaged record in a sealed segment means later segments hold acked
+      // edges we can no longer order after the damage. Refuse rather than
+      // silently dropping them.
+      out.error = "wal replay " + seg.path +
+                  ": corrupt record in a sealed (non-final) segment";
+      return out;
+    }
+    out.edges.insert(out.edges.end(), rep.edges.begin(), rep.edges.end());
+    out.records += rep.records;
+    out.truncated_bytes += rep.truncated_bytes;
+    out.truncate_failed = out.truncate_failed || rep.truncate_failed;
+    if (rep.truncate_failed && !rep.error.empty()) out.error = rep.error;
+    ++out.segments;
+  }
+  out.ok = true;
+  return out;
+}
+
+bool SegmentedWal::open_segment(std::uint64_t seq, std::string* err) {
+  if (!wal_.open(numbered_path(base_, seq), opts_.wal, err)) return false;
+  active_seq_ = seq;
+  return true;
+}
+
+bool SegmentedWal::open(const std::string& base, SegmentedWalOptions opts,
+                        std::uint64_t first_seq, std::string* err) {
+  close();
+  base_ = base;
+  opts_ = opts;
+  sealed_.clear();
+  sealed_bytes_ = 0;
+  appended_records_ = 0;
+
+  auto segments = list_numbered_files(base);
+  std::uint64_t open_seq = std::max<std::uint64_t>(first_seq, 1);
+  if (!segments.empty()) {
+    open_seq = std::max(open_seq, segments.back().seq);
+    for (auto& seg : segments) {
+      if (seg.seq == segments.back().seq) continue;
+      sealed_bytes_ += seg.bytes;
+      sealed_.push_back(std::move(seg));
+    }
+    if (open_seq != segments.back().seq) {
+      // first_seq outran every existing file (checkpoint covers them all
+      // but retention hasn't caught up): the highest file is still sealed.
+      sealed_bytes_ += segments.back().bytes;
+      sealed_.push_back(segments.back());
+    }
+  }
+  return open_segment(open_seq, err);
+}
+
+bool SegmentedWal::rotate(std::string* err) {
+  if (!wal_.is_open()) {
+    if (err != nullptr) *err = "wal rotate: log is closed";
+    return false;
+  }
+  const auto outcome = ECL_FAULT_POINT("svc.wal.rotate");
+  fault::apply_delay(outcome);
+  if (outcome.action != fault::Action::kNone &&
+      outcome.action != fault::Action::kDelay) {
+    if (err != nullptr) *err = "wal rotate: injected fault";
+    ECL_OBS_COUNTER_ADD("ecl.svc.wal.errors", 1);
+    close();
+    return false;
+  }
+  NumberedFile sealed;
+  sealed.seq = active_seq_;
+  sealed.path = numbered_path(base_, active_seq_);
+  sealed.bytes = wal_.size_bytes();
+  wal_.close();  // fsyncs any unsynced tail per policy
+  if (!open_segment(active_seq_ + 1, err)) {
+    ECL_OBS_COUNTER_ADD("ecl.svc.wal.errors", 1);
+    return false;
+  }
+  sealed_bytes_ += sealed.bytes;
+  sealed_.push_back(std::move(sealed));
+  ECL_OBS_COUNTER_ADD("ecl.svc.wal.rotations", 1);
+  return true;
+}
+
+bool SegmentedWal::append(const std::vector<Edge>& batch) {
+  if (!wal_.is_open()) return false;
+  if (batch.empty()) return true;
+  if (opts_.segment_bytes > 0 && wal_.appended_records() > 0 &&
+      wal_.size_bytes() >= opts_.segment_bytes) {
+    if (!rotate(nullptr)) return false;
+  }
+  if (!wal_.append(batch)) return false;
+  ++appended_records_;
+  return true;
+}
+
+std::size_t SegmentedWal::retire_through(std::uint64_t upto) {
+  std::size_t deleted = 0;
+  auto it = sealed_.begin();
+  while (it != sealed_.end() && it->seq <= upto) {
+    if (ECL_FAULT_POINT("svc.wal.retire").fired() ||
+        (::unlink(it->path.c_str()) != 0 && errno != ENOENT)) {
+      ECL_OBS_COUNTER_ADD("ecl.svc.wal.retire_errors", 1);
+      ++it;  // leave it for the next retention pass
+      continue;
+    }
+    sealed_bytes_ -= std::min(sealed_bytes_, it->bytes);
+    it = sealed_.erase(it);
+    ++deleted;
+  }
+  if (deleted > 0) {
+    ECL_OBS_COUNTER_ADD("ecl.svc.wal.retired_segments", deleted);
+    (void)fsync_parent_dir(base_);
+  }
+  return deleted;
 }
 
 }  // namespace ecl::svc

@@ -22,7 +22,14 @@
 //
 // Durability is configurable per service (FsyncPolicy): kNone trusts the
 // page cache, kBatch fsyncs every `fsync_every` appends, kAlways fsyncs
-// each append before acking. Fault points: svc.wal.append, svc.wal.fsync.
+// each append before acking. Fault points: svc.wal.append, svc.wal.fsync,
+// svc.wal.truncate, svc.wal.rotate, svc.wal.retire.
+//
+// SegmentedWal composes WriteAheadLog into a rotating segment chain
+// (`<base>.000001`, `<base>.000002`, ...) so that, together with durable
+// checkpoints (svc/checkpoint.h), disk usage and recovery time are bounded
+// by the un-checkpointed *tail* instead of lifetime ingest
+// (docs/ROBUSTNESS.md "Segmented WAL + checkpoints").
 #pragma once
 
 #include <cstdint>
@@ -59,6 +66,11 @@ struct WalReplayResult {
   std::vector<Edge> edges;           // every edge from intact records, in order
   std::uint64_t records = 0;         // intact records replayed
   std::uint64_t truncated_bytes = 0; // torn/corrupt tail removed, 0 if clean
+  /// A torn tail was found but could not be cut off (ftruncate/fsync
+  /// failed): the file still ends in garbage a future append would write
+  /// after. The recovered edges are trustworthy, the file is NOT safe to
+  /// append to. Counted in ecl.svc.wal.truncate_errors.
+  bool truncate_failed = false;
 };
 
 class WriteAheadLog {
@@ -90,17 +102,135 @@ class WriteAheadLog {
   [[nodiscard]] bool is_open() const { return fd_ >= 0; }
   [[nodiscard]] std::uint64_t appended_records() const { return appended_records_; }
 
+  /// Current on-disk size (header + records appended so far). Valid while
+  /// open; drives SegmentedWal's rotation decision.
+  [[nodiscard]] std::uint64_t size_bytes() const { return file_bytes_; }
+
   /// Reads `path`, validates header + per-record CRCs, and truncates any
   /// torn tail in place. A missing file is a clean empty result (ok, no
   /// edges) so first boot and restart share one code path.
-  [[nodiscard]] static WalReplayResult replay_and_truncate(const std::string& path);
+  ///
+  /// With `truncate_tail == false` the file is never modified: a torn tail
+  /// is still reported via truncated_bytes, but left on disk. SegmentedWal
+  /// validates *sealed* segments this way — damage there is refused, and
+  /// cutting the file would destroy acked records past the damage point
+  /// that a manual repair could still recover.
+  [[nodiscard]] static WalReplayResult replay_and_truncate(const std::string& path,
+                                                           bool truncate_tail = true);
 
  private:
   int fd_ = -1;
   WalOptions opts_;
   std::string path_;
   std::uint64_t appended_records_ = 0;
+  std::uint64_t file_bytes_ = 0;
   std::uint32_t unsynced_appends_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Segmented WAL
+
+/// One `<base>.NNNNNN` file (6-digit zero-padded sequence number).
+struct NumberedFile {
+  std::uint64_t seq = 0;
+  std::string path;
+  std::uint64_t bytes = 0;
+};
+
+/// `<base>.NNNNNN` for seq (shared naming scheme of WAL segments and
+/// checkpoints).
+[[nodiscard]] std::string numbered_path(const std::string& base, std::uint64_t seq);
+
+/// Every existing `<base>.NNNNNN` file, ascending by sequence number.
+[[nodiscard]] std::vector<NumberedFile> list_numbered_files(const std::string& base);
+
+/// Fsyncs the directory containing `path`, making a just-created file (or a
+/// just-completed rename) itself durable — without this, a crash right
+/// after O_CREAT/rename can lose the *directory entry* even though the data
+/// blocks were synced. Returns false on failure (errno preserved).
+[[nodiscard]] bool fsync_parent_dir(const std::string& path);
+
+struct SegmentedWalOptions {
+  WalOptions wal;  // per-segment durability policy
+  /// Rotate to a fresh segment once the active one reaches this size
+  /// (0 = never rotate on size; explicit rotate() still works).
+  std::uint64_t segment_bytes = 64ull << 20;
+};
+
+/// A write-ahead log split across rotating segment files. Appends go to the
+/// highest-numbered (active) segment; rotation seals it and opens the next.
+/// Sealed segments are immutable and individually retirable once a durable
+/// checkpoint covers them. Not thread-safe — the service serializes all
+/// access under its WAL mutex.
+class SegmentedWal {
+ public:
+  /// Adopts a pre-segmentation single-file WAL: if `base` exists as a plain
+  /// file it is renamed to `<base>.000001` (and the rename made durable).
+  /// No-op when `base` does not exist. False on rename failure.
+  [[nodiscard]] static bool adopt_legacy(const std::string& base, std::string* err);
+
+  /// Replays every segment with seq > after_seq, in sequence order, exactly
+  /// like WriteAheadLog::replay_and_truncate per segment. A torn tail is
+  /// only legal in the *final* segment (the only one a crash can tear);
+  /// torn or corrupt records in an earlier segment fail the replay
+  /// (ok == false) rather than silently dropping later acked edges.
+  struct ReplayResult {
+    bool ok = false;
+    std::string error;
+    std::vector<Edge> edges;
+    std::uint64_t records = 0;
+    std::uint64_t truncated_bytes = 0;
+    std::uint64_t segments = 0;  // segments replayed
+    bool truncate_failed = false;
+  };
+  [[nodiscard]] static ReplayResult replay(const std::string& base,
+                                           std::uint64_t after_seq);
+
+  /// Opens the highest existing segment for appending, or creates segment
+  /// max(first_seq, 1) when none exist (first_seq lets a checkpoint-led
+  /// recovery keep sequence numbers monotonic after full retention).
+  [[nodiscard]] bool open(const std::string& base, SegmentedWalOptions opts,
+                          std::uint64_t first_seq, std::string* err);
+
+  /// Appends one batch to the active segment, rotating first when the size
+  /// threshold is reached. False on any append or rotation failure (the log
+  /// is closed — same contract as WriteAheadLog::append).
+  [[nodiscard]] bool append(const std::vector<Edge>& batch);
+
+  /// Seals the active segment and opens the next one (the checkpoint cut).
+  /// Fault point svc.wal.rotate. On failure the log is closed and false is
+  /// returned. Counted in ecl.svc.wal.rotations.
+  [[nodiscard]] bool rotate(std::string* err);
+
+  /// Deletes sealed segments with seq <= upto (never the active segment).
+  /// Fault point svc.wal.retire. Returns the number of segments deleted;
+  /// failures are counted (ecl.svc.wal.retire_errors) and skipped — a
+  /// leftover segment costs disk, not correctness.
+  std::size_t retire_through(std::uint64_t upto);
+
+  [[nodiscard]] bool sync() { return wal_.sync(); }
+  void close() { wal_.close(); }
+  [[nodiscard]] bool is_open() const { return wal_.is_open(); }
+
+  [[nodiscard]] std::uint64_t active_seq() const { return active_seq_; }
+  /// Retained segments, active included.
+  [[nodiscard]] std::size_t segment_count() const { return sealed_.size() + 1; }
+  /// Total on-disk bytes across retained segments, active included.
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return sealed_bytes_ + wal_.size_bytes();
+  }
+  [[nodiscard]] std::uint64_t appended_records() const { return appended_records_; }
+
+ private:
+  [[nodiscard]] bool open_segment(std::uint64_t seq, std::string* err);
+
+  WriteAheadLog wal_;  // the active segment
+  std::string base_;
+  SegmentedWalOptions opts_;
+  std::uint64_t active_seq_ = 0;
+  std::uint64_t appended_records_ = 0;
+  std::vector<NumberedFile> sealed_;  // ascending seq
+  std::uint64_t sealed_bytes_ = 0;
 };
 
 /// CRC32 (reflected 0xEDB88320, zlib-compatible). Exposed for tests that

@@ -266,11 +266,21 @@ class WalTest : public FaultTest {
   void SetUp() override {
     FaultTest::SetUp();
     path_ = temp_path("test.wal");
-    std::remove(path_.c_str());
+    remove_wal_files();
   }
   void TearDown() override {
-    std::remove(path_.c_str());
+    remove_wal_files();
     FaultTest::TearDown();
+  }
+
+  /// Removes the bare file and its segment family: the service renames the
+  /// WAL to `<path>.000001` (SegmentedWal::adopt_legacy), so cleaning only
+  /// the bare path would leak segments into the next same-process case.
+  void remove_wal_files() {
+    std::remove(path_.c_str());
+    for (const auto& seg : list_numbered_files(path_)) {
+      std::remove(seg.path.c_str());
+    }
   }
 
   /// Appends `batches` through a fresh log and closes it.

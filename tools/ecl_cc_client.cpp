@@ -222,6 +222,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(st.queue_depth));
     std::printf("num_components    %u\n", st.num_components);
     std::printf("num_vertices      %u\n", st.num_vertices);
+    std::printf("checkpoints       %llu\n",
+                static_cast<unsigned long long>(st.checkpoints));
+    std::printf("last_ckpt_epoch   %llu\n",
+                static_cast<unsigned long long>(st.last_checkpoint_epoch));
+    std::printf("wal_segments      %llu\n",
+                static_cast<unsigned long long>(st.wal_segments));
+    std::printf("wal_bytes         %llu\n",
+                static_cast<unsigned long long>(st.wal_bytes));
     return 0;
   }
 
@@ -247,6 +255,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(h.replayed_edges));
     std::printf("degraded_entries    %llu\n",
                 static_cast<unsigned long long>(h.degraded_entries));
+    std::printf("checkpoints         %s\n", h.checkpoint_enabled ? "enabled" : "disabled");
+    std::printf("checkpoints_written %llu\n",
+                static_cast<unsigned long long>(h.checkpoints_written));
+    std::printf("last_ckpt_epoch     %llu\n",
+                static_cast<unsigned long long>(h.last_checkpoint_epoch));
+    std::printf("last_ckpt_age_ms    %llu\n",
+                static_cast<unsigned long long>(h.last_checkpoint_age_ms));
+    std::printf("wal_segments        %llu\n",
+                static_cast<unsigned long long>(h.wal_segments));
+    std::printf("wal_bytes           %llu\n",
+                static_cast<unsigned long long>(h.wal_bytes));
     // Exit 0 healthy, 2 degraded: lets scripts use this as a health probe.
     return h.degraded ? 2 : 0;
   }

@@ -20,11 +20,19 @@
 //   --compact-interval-ms=N background compaction cadence (default 20)
 //   --compact-min-edges=N   min new edges before compacting (default 1)
 //   --threads=N             OpenMP threads for compaction (0 = default)
-//   --wal=PATH              write-ahead edge log: replay it on startup
-//                           (truncating any torn tail) and append every
-//                           accepted batch before acking it
+//   --wal=PATH              write-ahead edge log (segments PATH.000001, ...):
+//                           replay the tail on startup (truncating any torn
+//                           final record) and append every accepted batch
+//                           before acking it
 //   --wal-fsync=POLICY      none | batch | always (default batch)
 //   --wal-fsync-every=N     under batch: fsync once per N appends (def. 16)
+//   --wal-segment-bytes=N   rotate WAL segments at this size (def. 64 MiB)
+//   --checkpoint=PATH       durable label-array checkpoints (PATH.000001,
+//                           ...): restart loads the newest valid checkpoint
+//                           and replays only WAL segments past it; covered
+//                           segments are retired (bounded recovery + disk)
+//   --checkpoint-interval-ms=N  min period between checkpoints (def. 5000;
+//                           0 = only the final checkpoint on clean stop)
 //   --frame-timeout-ms=N    evict clients that stall mid-frame (def. 10000)
 //   --idle-timeout-ms=N     evict connections idle this long (0 = never)
 //   --ready-file=PATH       write "unix <path>" or "tcp <host> <port>" once
@@ -77,6 +85,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   sopts.wal.fsync_every = static_cast<std::uint32_t>(args.get_int("wal-fsync-every", 16));
+  sopts.wal_segment_bytes =
+      static_cast<std::uint64_t>(args.get_int("wal-segment-bytes", 64ll << 20));
+  sopts.checkpoint_path = args.get("checkpoint", "");
+  sopts.checkpoint_interval_ms =
+      static_cast<int>(args.get_int("checkpoint-interval-ms", 5000));
 
   svc::ServerOptions nopts;
   nopts.unix_path = args.get("unix", "");
@@ -123,6 +136,13 @@ int main(int argc, char** argv) {
     std::printf("wal %s (fsync=%s): replayed %llu edges\n", sopts.wal_path.c_str(),
                 svc::to_string(sopts.wal.fsync_policy),
                 static_cast<unsigned long long>(service->replayed_edges()));
+  }
+  if (!sopts.checkpoint_path.empty()) {
+    const auto h = service->health();
+    std::printf("checkpoint %s (interval %d ms): recovered epoch %llu, watermark %llu\n",
+                sopts.checkpoint_path.c_str(), sopts.checkpoint_interval_ms,
+                static_cast<unsigned long long>(h.last_checkpoint_epoch),
+                static_cast<unsigned long long>(service->stats().watermark));
   }
 
   svc::Server server(*service, nopts);
