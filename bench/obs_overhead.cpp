@@ -10,8 +10,19 @@
 // scripts/check_obs_overhead.py runs both binaries and asserts that the
 // instrumented build's ECL-CC median stays within the acceptance threshold
 // of the disabled build, and that both produce identical label checksums.
+//
+// --exporter additionally runs the timed loop with the full live-telemetry
+// stack hot: the metrics exporter thread sampling the registry on a fast
+// cadence plus the tracer recording spans. The <=5% budget must hold with
+// both enabled (the obs_overhead_exporter_check ctest). In the
+// ECL_OBS_DISABLED build the flag is accepted and ignored, because the
+// checker passes identical extra args to both binaries.
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <system_error>
 #include <vector>
 
 #include "common/stats.h"
@@ -19,11 +30,48 @@
 #include "core/ecl_cc.h"
 #include "graph/suite.h"
 #include "harness/bench_harness.h"
+#include "obs/exporter.h"
+#include "obs/trace.h"
 
 int main(int argc, char** argv) {
   using namespace ecl;
-  const auto cfg = harness::parse_config(argc, argv, /*default_scale=*/0.5);
+  // Strip --exporter before the harness parse so it isn't warned about as
+  // unknown; both builds accept it, only the instrumented one acts on it.
+  bool with_exporter = false;
+  std::vector<const char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--exporter") {
+      with_exporter = true;
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  const auto cfg = harness::parse_config(static_cast<int>(filtered.size()),
+                                         filtered.data(), /*default_scale=*/0.5);
   const auto names = small_suite_names();
+
+#if defined(ECL_OBS_DISABLED)
+  (void)with_exporter;  // record sites are compiled out; nothing to exercise
+#else
+  obs::ExporterOptions eopts;
+  eopts.port = 0;                  // ephemeral; nothing scrapes it, the cost
+  eopts.sample_interval_ms = 100;  // under test is sampling + thread noise
+  obs::MetricsExporter exporter(eopts);
+  std::string trace_path;
+  if (with_exporter) {
+    std::string err;
+    if (!exporter.start(&err)) {
+      std::fprintf(stderr, "error: cannot start exporter: %s\n", err.c_str());
+      return 1;
+    }
+    trace_path = (std::filesystem::temp_directory_path() /
+                  "ecl_obs_overhead_trace.json").string();
+    if (!obs::Tracer::instance().start(trace_path)) {
+      std::fprintf(stderr, "error: cannot start tracer\n");
+      return 1;
+    }
+  }
+#endif
 
   // FNV-1a over every label of every graph: any behavioural difference
   // between the instrumented and compiled-out builds shows up here.
@@ -63,7 +111,14 @@ int main(int argc, char** argv) {
 #if defined(ECL_OBS_DISABLED)
   std::printf("obs=disabled\n");
 #else
+  if (with_exporter) {
+    exporter.stop();
+    obs::Tracer::instance().stop();
+    std::error_code ec;
+    std::filesystem::remove(trace_path, ec);
+  }
   std::printf("obs=enabled\n");
+  std::printf("exporter=%s\n", with_exporter ? "on" : "off");
 #endif
   std::printf("median_ms=%.6f\n", median(totals));
   std::printf("labels_checksum=%016llx\n", static_cast<unsigned long long>(checksum));

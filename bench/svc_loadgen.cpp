@@ -31,6 +31,11 @@
 //                        WAL-replay restart
 //   --retries=N          client retry budget per op (default 4; 20 in chaos)
 //   --op-timeout-ms=N    per-attempt socket deadline (default 10000)
+//   --slow-us=N          with --slow-file: an op whose client-observed
+//                        latency is >= N microseconds is recorded
+//   --slow-file=FILE     append "request_id op latency_us" per slow op; the
+//                        ids are the ones the daemon's --slow-log captured
+//                        server-side, so the two files join on id
 //
 // Exit codes: 0 success, 1 connect/usage failure, 2 every op failed.
 #include <atomic>
@@ -77,6 +82,7 @@ struct LoadConfig {
   std::uint64_t seed = 1;
   vertex_t num_vertices = 0;
   bool chaos = false;
+  std::uint64_t slow_us = 0;  // with a slow file: ops at least this slow
   svc::ClientOptions copts;
 };
 
@@ -91,6 +97,24 @@ void record_acked(const std::vector<Edge>& batch) {
   std::lock_guard<std::mutex> lock(g_acked_mu);
   for (const auto& [u, v] : batch) std::fprintf(g_acked_file, "%u %u\n", u, v);
   std::fflush(g_acked_file);
+}
+
+/// Shared sink for --slow-file: one "request_id op latency_us" line per op
+/// the *client* observed as slow. The id is the one stamped on the wire, so
+/// these lines join with the daemon's --slow-log JSON on request_id.
+std::FILE* g_slow_file = nullptr;
+std::mutex g_slow_mu;
+std::atomic<std::uint64_t> g_slow_ops{0};
+
+void record_slow(const svc::Client& client, const char* op, std::uint64_t us,
+                 std::uint64_t threshold_us) {
+  if (g_slow_file == nullptr || us < threshold_us) return;
+  g_slow_ops.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_slow_mu);
+  std::fprintf(g_slow_file, "%llu %s %llu\n",
+               static_cast<unsigned long long>(client.last_request_id()), op,
+               static_cast<unsigned long long>(us));
+  std::fflush(g_slow_file);
 }
 
 std::unique_ptr<svc::Client> connect(const LoadConfig& cfg, std::string* err,
@@ -142,7 +166,9 @@ void worker(const LoadConfig& cfg, int tid, obs::Histogram& query_us,
       }
       Timer t;
       const svc::Status st = client->ingest(batch);
-      ingest_us.record(static_cast<std::uint64_t>(t.micros()));
+      const auto us = static_cast<std::uint64_t>(t.micros());
+      ingest_us.record(us);
+      record_slow(*client, "ingest", us, cfg.slow_us);
       if (st == svc::Status::kOk) {
         ++out.ingests;
         out.edges_sent += batch.size();
@@ -160,7 +186,9 @@ void worker(const LoadConfig& cfg, int tid, obs::Histogram& query_us,
       svc::Status st = svc::Status::kOk;
       Timer t;
       (void)client->connected(pick_vertex(rng), pick_vertex(rng), cfg.mode, &st);
-      query_us.record(static_cast<std::uint64_t>(t.micros()));
+      const auto us = static_cast<std::uint64_t>(t.micros());
+      query_us.record(us);
+      record_slow(*client, "connected", us, cfg.slow_us);
       if (st == svc::Status::kOk) {
         ++out.queries;
       } else {
@@ -199,6 +227,8 @@ int main(int argc, char** argv) {
   cfg.copts.op_timeout_ms = static_cast<int>(args.get_int("op-timeout-ms", 10000));
   if (cfg.chaos) cfg.copts.backoff_max_ms = 500;  // recover fast after restart
   const std::string acked_path = args.get("acked-file", "");
+  cfg.slow_us = static_cast<std::uint64_t>(args.get_int("slow-us", 0));
+  const std::string slow_path = args.get("slow-file", "");
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", flag.c_str());
   }
@@ -217,10 +247,19 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (!slow_path.empty()) {
+    g_slow_file = std::fopen(slow_path.c_str(), "w");
+    if (g_slow_file == nullptr) {
+      std::fprintf(stderr, "error: cannot open --slow-file=%s\n", slow_path.c_str());
+      return 1;
+    }
+  }
 
   // Probe the daemon and learn the vertex universe for random edge/query IDs.
+  // The probe sits outside the worker tid range so its request-id stream
+  // never collides with worker 0's (the slow-file join relies on unique ids).
   std::string err;
-  auto probe = connect(cfg, &err);
+  auto probe = connect(cfg, &err, cfg.threads);
   if (!probe) {
     std::fprintf(stderr, "error: connect failed: %s\n", err.c_str());
     return 1;
@@ -277,12 +316,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.edges_sent), throughput,
               static_cast<unsigned long long>(total.shed),
               static_cast<unsigned long long>(total.errors));
-  std::printf("query  latency us: p50=%.1f p95=%.1f p99=%.1f\n",
-              query_us.percentile(0.50), query_us.percentile(0.95),
-              query_us.percentile(0.99));
-  std::printf("ingest latency us: p50=%.1f p95=%.1f p99=%.1f\n",
-              ingest_us.percentile(0.50), ingest_us.percentile(0.95),
-              ingest_us.percentile(0.99));
+  // An empty histogram's quantiles are the defined 0.0 sentinel (see
+  // obs::percentile_from_buckets) — print "no samples" instead of implying a
+  // measured zero-microsecond tail.
+  const auto print_latency = [](const char* label, const obs::Histogram& h) {
+    if (h.count() == 0) {
+      std::printf("%s latency us: no samples\n", label);
+      return;
+    }
+    std::printf("%s latency us: p50=%.1f p95=%.1f p99=%.1f (n=%llu, max=%llu)\n",
+                label, h.percentile(0.50), h.percentile(0.95), h.percentile(0.99),
+                static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(h.max()));
+  };
+  print_latency("query ", query_us);
+  print_latency("ingest", ingest_us);
   if (total.retries > 0 || total.reconnects > 0) {
     std::printf("resilience: %llu retries, %llu reconnects\n",
                 static_cast<unsigned long long>(total.retries),
@@ -291,6 +339,13 @@ int main(int argc, char** argv) {
   if (g_acked_file != nullptr) {
     std::fclose(g_acked_file);
     g_acked_file = nullptr;
+  }
+  if (g_slow_file != nullptr) {
+    std::fclose(g_slow_file);
+    g_slow_file = nullptr;
+    std::printf("slow ops: %llu at >= %llu us\n",
+                static_cast<unsigned long long>(g_slow_ops.load()),
+                static_cast<unsigned long long>(cfg.slow_us));
   }
 
   if (!report_file.empty()) {
@@ -308,7 +363,7 @@ int main(int argc, char** argv) {
   }
 
   if (send_shutdown) {
-    if (auto c = connect(cfg, &err); c && c->shutdown_server()) {
+    if (auto c = connect(cfg, &err, cfg.threads + 1); c && c->shutdown_server()) {
       std::printf("shutdown request acknowledged\n");
     } else {
       std::fprintf(stderr, "warning: shutdown request failed\n");

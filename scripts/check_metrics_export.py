@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition body from the ecl_ccd exporter.
+
+Reads the exposition either from a file, stdin, or straight off a running
+exporter (--url, stdlib urllib only), then lints it:
+
+  * every sample line parses as `name{labels} value` with a valid metric name
+  * every sampled family has a preceding `# TYPE` line, and the declared
+    type is one this exporter emits (counter, gauge, histogram)
+  * histogram `_bucket{le=...}` series are cumulative (non-decreasing in
+    bound order), end with le="+Inf", and the +Inf count equals `_count`
+  * counter and gauge values are finite numbers; counters are non-negative
+  * families named with --require (repeatable) are present
+
+Exit codes: 0 clean, 1 lint failure, 2 usage/fetch error.
+
+Usage:
+  check_metrics_export.py --url=http://127.0.0.1:9464/metrics --require=ecl_svc_up
+  curl -s localhost:9464/metrics | check_metrics_export.py --require=ecl_svc_epoch
+  check_metrics_export.py scrape.txt
+"""
+import math
+import re
+import sys
+import urllib.request
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name, optional {labels}, value — the exporter never emits timestamps.
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+KNOWN_TYPES = ("counter", "gauge", "histogram")
+
+
+def base_family(name):
+    """Maps a sample name onto the family its # TYPE line declares."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_le(labels):
+    if not labels:
+        return None
+    m = re.search(r'le="([^"]*)"', labels)
+    return m.group(1) if m else None
+
+
+def lint(text):
+    errors = []
+    types = {}          # family -> declared type
+    buckets = {}        # family -> list of (le_string, count) in order
+    counts = {}         # family -> _count value
+    sampled = set()     # families that produced at least one sample line
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            _, _, family, mtype = parts
+            if not NAME_RE.match(family):
+                errors.append(f"line {lineno}: invalid family name {family!r}")
+            if mtype not in KNOWN_TYPES:
+                errors.append(f"line {lineno}: unknown type {mtype!r} for {family}")
+            if family in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {family}")
+            types[family] = mtype
+            continue
+        if line.startswith("#"):
+            continue  # comments are fine
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, labels, raw_value = m.groups()
+        family = base_family(name)
+        sampled.add(family)
+        try:
+            value = float(raw_value)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {raw_value!r}")
+            continue
+        if math.isnan(value) or math.isinf(value):
+            errors.append(f"line {lineno}: non-finite value for {name}")
+            continue
+        if family not in types:
+            errors.append(f"line {lineno}: sample {name} has no preceding # TYPE")
+            continue
+        mtype = types[family]
+        if mtype == "counter" and value < 0:
+            errors.append(f"line {lineno}: counter {name} is negative ({value})")
+        if mtype == "histogram":
+            if name.endswith("_bucket"):
+                le = parse_le(labels)
+                if le is None:
+                    errors.append(f"line {lineno}: bucket without le label: {line!r}")
+                else:
+                    buckets.setdefault(family, []).append((le, value))
+            elif name.endswith("_count"):
+                counts[family] = value
+        elif name.endswith("_bucket"):
+            errors.append(f"line {lineno}: _bucket sample under non-histogram {family}")
+
+    for family, series in sorted(buckets.items()):
+        les = [le for le, _ in series]
+        if les[-1] != "+Inf":
+            errors.append(f"{family}: bucket series does not end with le=\"+Inf\"")
+        prev = -1.0
+        for le, count in series:
+            if count < prev:
+                errors.append(
+                    f"{family}: bucket le=\"{le}\" count {count} decreases "
+                    f"(cumulative buckets must be non-decreasing)")
+            prev = count
+        finite = [float(le) for le, _ in series if le != "+Inf"]
+        if finite != sorted(finite):
+            errors.append(f"{family}: bucket bounds are not ascending: {finite}")
+        if family in counts and les[-1] == "+Inf" and series[-1][1] != counts[family]:
+            errors.append(
+                f"{family}: le=\"+Inf\" bucket {series[-1][1]} != _count {counts[family]}")
+
+    for family, mtype in sorted(types.items()):
+        if mtype == "histogram" and family in sampled and family not in buckets:
+            errors.append(f"{family}: histogram family has no _bucket samples")
+
+    return errors, sampled
+
+
+def main():
+    url = None
+    requires = []
+    path = None
+    for arg in sys.argv[1:]:
+        if arg.startswith("--url="):
+            url = arg[len("--url="):]
+        elif arg.startswith("--require="):
+            requires.append(arg[len("--require="):])
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 2
+        elif arg.startswith("-"):
+            print(f"error: unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            path = arg
+
+    if url is not None:
+        try:
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                text = resp.read().decode("utf-8", "replace")
+        except OSError as e:
+            print(f"error: fetch {url} failed: {e}", file=sys.stderr)
+            return 2
+    elif path is not None:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    if not text.strip():
+        print("error: empty exposition body", file=sys.stderr)
+        return 1
+
+    errors, sampled = lint(text)
+    for family in requires:
+        if family not in sampled:
+            errors.append(f"required family missing: {family}")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    print(f"ok: {len(sampled)} families, {len(requires)} required present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,12 +26,19 @@
 #                   the kill — the loader must fall back to the previous one
 #                   (retention keeps segments the *oldest* checkpoint needs)
 #
+#   observability rider: every daemon run also serves /metrics on an
+#   ephemeral port; the harness scrapes and lint-checks the exposition both
+#   before the SIGKILL and after the restart, and a final degraded-mode
+#   scenario checks the endpoint keeps answering (ecl_svc_degraded 1) after
+#   a WAL failure drops the service to read-only.
+#
 #   usage: svc_chaos.sh <ecl_ccd> <ecl_cc_client> <svc_loadgen>
 set -euo pipefail
 
 CCD=$1
 CLIENT=$2
 LOADGEN=$3
+SCRIPT_DIR=$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)
 
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/ecl_svc_chaos.XXXXXX")
 
@@ -54,6 +61,24 @@ wait_ready() {
     sleep 0.1
   done
   echo "daemon never became ready"; cat "$log"; exit 1
+}
+
+# Scrapes the exporter named in a ready file, lints the exposition, and
+# leaves the body at $WORK/last_scrape.txt for value-level greps.
+scrape_and_lint() {
+  local ready=$1
+  local mport
+  mport=$(awk '/^metrics /{print $2}' "$ready")
+  [[ -n "$mport" ]] || { echo "no metrics port in $ready:"; cat "$ready"; exit 1; }
+  python3 - "http://127.0.0.1:$mport/metrics" "$WORK/last_scrape.txt" <<'PYEOF'
+import sys, urllib.request
+with urllib.request.urlopen(sys.argv[1], timeout=10) as resp:
+    body = resp.read().decode('utf-8', 'replace')
+open(sys.argv[2], 'w').write(body)
+PYEOF
+  python3 "$SCRIPT_DIR/check_metrics_export.py" "$WORK/last_scrape.txt" \
+      --require=ecl_svc_up --require=ecl_svc_degraded \
+      --require=ecl_wal_enabled --require=ecl_wal_healthy
 }
 
 # Wire-level verifier: drains the queue, checks health, then checks every
@@ -95,18 +120,39 @@ print(f'{len(edges)} acked edges to verify')
 s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
 s.connect(sock_path)
 
+# The kStats body is tag-indexed (u8 format | u16 count | count x (u16 tag,
+# u64 value)); a pre-tagging daemon sends exactly 13 x u64 instead. Tags
+# match svc::StatsField.
+def parse_stats(body):
+    fields = {}
+    if len(body) == 13 * 8:  # legacy fixed layout, declaration order
+        for i, v in enumerate(struct.unpack_from('<13Q', body, 0), start=1):
+            fields[i] = v
+        return fields
+    fmt, count = struct.unpack_from('<BH', body, 0)
+    assert fmt == 1, f'unknown stats format byte {fmt}'
+    assert len(body) == 3 + 10 * count, (len(body), count)
+    off = 3
+    for _ in range(count):
+        tag, value = struct.unpack_from('<HQ', body, off)
+        fields[tag] = value
+        off += 10
+    return fields
+
+QUEUE_DEPTH, DEGRADED = 7, 14  # svc::StatsField tags
+
 # Drain: batches acked in the loadgen's final moments may still sit in the
 # admission queue; wait for queue_depth == 0 before reading (kStats = 5).
-# unpack_from keeps this robust to fields appended to the stats body.
 for _ in range(200):
     status, body = request(s, 5)
     assert status == 0, f'stats status {status}'
-    queue_depth = struct.unpack_from('<Q', body, 6 * 8)[0]
-    if queue_depth == 0:
+    stats = parse_stats(body)
+    if stats.get(QUEUE_DEPTH, 0) == 0:
         break
     time.sleep(0.05)
 else:
     sys.exit('ingest queue never drained after restart')
+assert stats.get(DEGRADED, 0) == 0, 'stats report a degraded daemon after restart'
 
 # kHealth (7): the revived daemon must be fully healthy, with a WAL. New
 # checkpoint fields are appended after the original 4 x u8 + 6 x u64 body.
@@ -161,9 +207,13 @@ run_scenario() {
   echo "==== scenario: $name"
   echo "== starting ecl_ccd (run 1)"
   env $env1 "$CCD" --vertices=20000 --unix="$sock" --wal-fsync=batch \
-      --ready-file="$dir/ready1" "$@" >"$log1" 2>&1 &
+      --ready-file="$dir/ready1" --metrics-port=0 "$@" >"$log1" 2>&1 &
   CCD_PID=$!
   wait_ready "$dir/ready1" "$CCD_PID" "$log1"
+
+  echo "== scraping /metrics (run 1, pre-kill)"
+  scrape_and_lint "$dir/ready1"
+  grep -q "^ecl_svc_up 1$" "$WORK/last_scrape.txt"
 
   echo "== chaos load (background)"
   "$LOADGEN" --unix="$sock" --threads=3 --duration-ms=5000 --batch=32 \
@@ -195,11 +245,16 @@ PYEOF
   sleep 0.3
   echo "== restarting on the same on-disk state"
   "$CCD" --vertices=20000 --unix="$sock" --wal-fsync=batch \
-         --ready-file="$dir/ready2" "$@" >"$log2" 2>&1 &
+         --ready-file="$dir/ready2" --metrics-port=0 "$@" >"$log2" 2>&1 &
   CCD_PID=$!
   wait_ready "$dir/ready2" "$CCD_PID" "$log2"
   grep -q "^wal .*replayed" "$log2" || {
     echo "restart did not report WAL replay:"; cat "$log2"; exit 1; }
+
+  echo "== scraping /metrics (run 2, post-restart)"
+  scrape_and_lint "$dir/ready2"
+  grep -q "^ecl_svc_up 1$" "$WORK/last_scrape.txt"
+  grep -q "^ecl_svc_degraded 0$" "$WORK/last_scrape.txt"
 
   echo "== waiting for the load generator to ride out the outage"
   local loadgen_exit=0
@@ -257,5 +312,49 @@ run_scenario corrupt-newest \
   any 1 \
   --wal="$WORK/corrupt-newest/edges.wal" \
   --checkpoint="$WORK/corrupt-newest/ckpt" --checkpoint-interval-ms=150
+
+# Degraded-mode observability: a WAL append failure drops the service to
+# read-only; the metrics endpoint is the alerting path and must keep serving
+# a valid exposition with ecl_svc_degraded 1.
+echo "==== scenario: degraded-exporter"
+DDIR="$WORK/degraded"
+mkdir -p "$DDIR"
+env 'ECL_FAULT=svc.wal.append=fail,times=1,after=1' \
+    "$CCD" --vertices=20000 --unix="$DDIR/ccd.sock" --wal="$DDIR/edges.wal" \
+    --ready-file="$DDIR/ready" --metrics-port=0 >"$DDIR/ccd.log" 2>&1 &
+CCD_PID=$!
+wait_ready "$DDIR/ready" "$CCD_PID" "$DDIR/ccd.log"
+
+echo "== healthy baseline scrape"
+scrape_and_lint "$DDIR/ready"
+grep -q "^ecl_svc_degraded 0$" "$WORK/last_scrape.txt"
+
+echo "== tripping the WAL fault"
+"$CLIENT" --unix="$DDIR/ccd.sock" ingest 1 2 2 3   # append pass 0: survives after=1
+# This append hits the armed failure: the batch is shed, never falsely acked,
+# and the daemon degrades to read-only. ingest exits 2 (kShed) by contract.
+ingest_exit=0
+"$CLIENT" --unix="$DDIR/ccd.sock" --retries=0 ingest 5 6 || ingest_exit=$?
+[[ "$ingest_exit" -eq 2 ]] || { echo "expected shed (2), got $ingest_exit"; exit 1; }
+health_exit=0
+"$CLIENT" --unix="$DDIR/ccd.sock" health || health_exit=$?
+[[ "$health_exit" -eq 2 ]] || { echo "daemon not degraded (health=$health_exit)"; exit 1; }
+
+echo "== degraded scrape: endpoint must keep serving with degraded=1"
+scrape_and_lint "$DDIR/ready"
+grep -q "^ecl_svc_degraded 1$" "$WORK/last_scrape.txt"
+grep -q "^ecl_wal_healthy 0$" "$WORK/last_scrape.txt"
+grep -q "^ecl_svc_up 1$" "$WORK/last_scrape.txt"
+# Reads still serve while degraded.
+"$CLIENT" --unix="$DDIR/ccd.sock" connected 1 3 | grep -qx "connected"
+
+"$CLIENT" --unix="$DDIR/ccd.sock" shutdown
+ccd_exit=0
+wait "$CCD_PID" || ccd_exit=$?
+CCD_PID=
+[[ "$ccd_exit" -eq 0 ]] || { echo "daemon exit code $ccd_exit"; cat "$DDIR/ccd.log"; exit 1; }
+grep -q "read-only degraded" "$DDIR/ccd.log" || {
+  echo "daemon never reported degraded mode:"; cat "$DDIR/ccd.log"; exit 1; }
+echo "==== scenario degraded-exporter: OK"
 
 echo "svc_chaos: OK"

@@ -1,0 +1,81 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace ecl::obs {
+
+RequestLog::~RequestLog() { close(); }
+
+bool RequestLog::open(const std::string& path, std::uint64_t threshold_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    enabled_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  threshold_us_.store(threshold_us, std::memory_order_relaxed);
+  lines_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void RequestLog::close() {
+  // Flip enabled first so new log() calls bail before touching the file.
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool RequestLog::log(const RequestLogRecord& rec) {
+  if (!enabled()) return false;
+  if (rec.total_us < threshold_us()) return false;
+  const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  std::ostringstream line;
+  JsonWriter w(line);
+  w.begin_object();
+  w.key("ts_ms");
+  w.value(static_cast<std::uint64_t>(now_ms));
+  w.key("request_id");
+  w.value(rec.request_id);
+  w.key("op");
+  w.value(rec.op);
+  w.key("status");
+  w.value(rec.status);
+  w.key("queue_depth");
+  w.value(rec.queue_depth);
+  w.key("total_us");
+  w.value(rec.total_us);
+  w.key("decode_us");
+  w.value(rec.decode_us);
+  w.key("queue_us");
+  w.value(rec.queue_us);
+  w.key("execute_us");
+  w.value(rec.execute_us);
+  w.key("encode_us");
+  w.value(rec.encode_us);
+  w.key("write_us");
+  w.value(rec.write_us);
+  w.end_object();
+  line << '\n';
+  const std::string s = line.str();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return false;  // closed between the check and here
+  std::fputs(s.c_str(), file_);
+  std::fflush(file_);
+  lines_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace ecl::obs

@@ -44,32 +44,41 @@ void Histogram::reset() noexcept {
   max_.store(0, std::memory_order_relaxed);
 }
 
-double Histogram::percentile(double q) const noexcept {
-  const std::uint64_t n = count();
+double percentile_from_buckets(const std::vector<std::uint64_t>& bounds,
+                               const std::vector<std::uint64_t>& counts, double q,
+                               std::uint64_t observed_max) noexcept {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < counts.size() && i < bounds.size(); ++i) n += counts[i];
   if (n == 0) return 0.0;
+  // A single sample has exactly one defensible quantile estimate: itself.
+  // (Interpolating within its bucket would invent a value no one recorded.)
+  if (n == 1) return static_cast<double>(observed_max);
   q = std::max(0.0, std::min(1.0, q));
   const double target = q * static_cast<double>(n);
-  const std::uint64_t observed_max = max();
   std::uint64_t cumulative = 0;
   std::uint64_t lower = 0;  // exclusive lower edge of the current bucket
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
-    // The overflow bucket has no finite upper bound; the observed max is the
-    // tightest correct stand-in.
-    const std::uint64_t upper =
-        i < bounds_.size() ? bounds_[i] : std::max(observed_max, lower);
+  for (std::size_t i = 0; i < counts.size() && i < bounds.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    // The overflow bucket (UINT64_MAX sentinel bound) has no finite upper
+    // edge; the observed max is the tightest correct stand-in.
+    const std::uint64_t upper = bounds[i] == ~std::uint64_t{0}
+                                    ? std::max(observed_max, lower)
+                                    : bounds[i];
     if (in_bucket > 0 && cumulative + in_bucket >= target) {
       const double fraction =
           (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
       const double estimate =
-          static_cast<double>(lower) +
-          fraction * static_cast<double>(upper - lower);
+          static_cast<double>(lower) + fraction * static_cast<double>(upper - lower);
       return std::min(estimate, static_cast<double>(observed_max));
     }
     cumulative += in_bucket;
     lower = upper;
   }
   return static_cast<double>(observed_max);
+}
+
+double Histogram::percentile(double q) const noexcept {
+  return percentile_from_buckets(bounds(), bucket_counts(), q, max());
 }
 
 std::vector<std::uint64_t> Histogram::pow2_bounds(unsigned n) {

@@ -113,7 +113,9 @@ class Histogram {
 
   /// Estimated q-quantile (q in [0, 1]) of the recorded samples, linearly
   /// interpolated within the containing bucket and clamped to the exact
-  /// observed max, so the estimate never exceeds a real sample. With
+  /// observed max, so the estimate never exceeds a real sample. Edge cases
+  /// (empty, single sample, all samples in the overflow bucket) are defined
+  /// by percentile_from_buckets below, which this delegates to. With
   /// concurrent recorders the result is a point-in-time approximation.
   [[nodiscard]] double percentile(double q) const noexcept;
 
@@ -135,6 +137,26 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> max_{0};
 };
+
+/// Estimated q-quantile over an explicit bucket array: `bounds` are the
+/// ascending inclusive upper edges with the UINT64_MAX overflow sentinel
+/// last (the shape Histogram::bounds() returns), `counts` the parallel
+/// per-bucket sample counts. This is the one quantile implementation in the
+/// repo — Histogram::percentile and the windowed time-series estimates both
+/// delegate here, so the edge cases are defined once:
+///
+///   * no samples            -> 0.0 for every q (an empty histogram has no
+///                              quantiles; 0 is the documented sentinel)
+///   * q outside [0, 1]      -> clamped
+///   * exactly one sample    -> that sample (the observed max) for every q
+///   * samples only in the overflow bucket -> linear interpolation between
+///     the largest finite bound and the observed max (the tightest correct
+///     stand-in for the bucket's missing upper edge)
+///   * every estimate is clamped to the observed max, so it never exceeds a
+///     real sample
+double percentile_from_buckets(const std::vector<std::uint64_t>& bounds,
+                               const std::vector<std::uint64_t>& counts, double q,
+                               std::uint64_t observed_max) noexcept;
 
 /// One metric's state at snapshot time.
 struct MetricSnapshot {

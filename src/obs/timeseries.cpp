@@ -1,0 +1,103 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ecl::obs {
+
+namespace {
+
+std::uint64_t steady_now_ms() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::steady_clock::now() - epoch)
+                                        .count());
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(std::size_t capacity) : capacity_(std::max<std::size_t>(2, capacity)) {}
+
+void TimeSeries::sample(const std::vector<MetricSnapshot>& metrics, std::uint64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++samples_;
+  for (const auto& m : metrics) {
+    Series& s = series_[m.name];
+    s.kind = m.kind;
+    Point p;
+    p.t_ms = now_ms;
+    p.count = m.count;
+    p.value = m.value;
+    p.sum = m.sum;
+    p.max = m.max;
+    if (m.kind == MetricSnapshot::Kind::kHistogram) {
+      if (s.bounds.empty()) {
+        s.bounds.reserve(m.buckets.size());
+        for (const auto& [bound, unused] : m.buckets) s.bounds.push_back(bound);
+      }
+      p.bucket_counts.reserve(m.buckets.size());
+      for (const auto& [unused, count] : m.buckets) p.bucket_counts.push_back(count);
+    }
+    s.points.push_back(std::move(p));
+    if (s.points.size() > capacity_) s.points.pop_front();
+  }
+}
+
+void TimeSeries::sample_now() { sample(registry().snapshot(), steady_now_ms()); }
+
+WindowStats TimeSeries::window_of(const Series& s) {
+  WindowStats w;
+  w.kind = s.kind;
+  if (s.points.empty()) return w;
+  const Point& newest = s.points.back();
+  w.last = newest.value;
+  if (s.points.size() < 2) return w;
+  const Point& oldest = s.points.front();
+  w.valid = true;
+  w.window_s = static_cast<double>(newest.t_ms - oldest.t_ms) / 1000.0;
+  // A registry reset() between samples makes the cumulative values go
+  // backwards; clamp the deltas to zero rather than wrapping.
+  w.delta = newest.count >= oldest.count ? newest.count - oldest.count : 0;
+  w.rate_per_s = w.window_s > 0.0 ? static_cast<double>(w.delta) / w.window_s : 0.0;
+  if (s.kind == MetricSnapshot::Kind::kHistogram && w.delta > 0) {
+    const std::uint64_t sum_delta =
+        newest.sum >= oldest.sum ? newest.sum - oldest.sum : 0;
+    w.avg = static_cast<double>(sum_delta) / static_cast<double>(w.delta);
+    std::vector<std::uint64_t> diff(newest.bucket_counts.size(), 0);
+    for (std::size_t i = 0; i < diff.size(); ++i) {
+      const std::uint64_t then =
+          i < oldest.bucket_counts.size() ? oldest.bucket_counts[i] : 0;
+      diff[i] = newest.bucket_counts[i] >= then ? newest.bucket_counts[i] - then : 0;
+    }
+    // The lifetime max is the only max retained per point; it upper-bounds
+    // the window's max, which keeps the estimates conservative (clamped to
+    // a value that was really observed, just possibly before the window).
+    w.p50 = percentile_from_buckets(s.bounds, diff, 0.50, newest.max);
+    w.p95 = percentile_from_buckets(s.bounds, diff, 0.95, newest.max);
+    w.p99 = percentile_from_buckets(s.bounds, diff, 0.99, newest.max);
+  }
+  return w;
+}
+
+std::vector<std::pair<std::string, WindowStats>> TimeSeries::window() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, WindowStats>> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) out.emplace_back(name, window_of(s));
+  return out;
+}
+
+bool TimeSeries::lookup(std::string_view name, WindowStats& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(name);
+  if (it == series_.end()) return false;
+  out = window_of(it->second);
+  return true;
+}
+
+std::uint64_t TimeSeries::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+}  // namespace ecl::obs

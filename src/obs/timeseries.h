@@ -1,0 +1,97 @@
+// ecl::obs time series — bounded sliding windows over registry snapshots.
+//
+// The registry's counters and histograms are monotonic process-lifetime
+// aggregates: good for post-mortem reports, useless for "what is the p99
+// *right now*". A TimeSeries fixes that by sampling the registry on a fixed
+// cadence into per-metric ring buffers and answering windowed questions by
+// differencing the newest and oldest retained sample:
+//
+//   counters    -> delta and rate (events/s) over the window
+//   gauges      -> latest value
+//   histograms  -> sample count, average, and p50/p95/p99 of only the
+//                  samples recorded inside the window (cumulative bucket
+//                  arrays subtract cleanly, then the shared
+//                  percentile_from_buckets estimator runs on the diff)
+//
+// The default 64 samples at the exporter's 1 s cadence give a ~1 minute
+// window. Memory is bounded: capacity points per metric, each point keeping
+// only the cumulative bucket array (no raw samples).
+//
+// Thread-safety: sample() and the read accessors take one internal mutex;
+// the expected topology is a single sampler thread (the exporter's serve
+// loop) plus occasional readers (scrape rendering, ecl_cc_top, tests).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ecl::obs {
+
+/// One metric's windowed view. `valid` is false until the window holds at
+/// least two samples (a delta needs two endpoints); counter/histogram
+/// fields are zero for gauges and vice versa.
+struct WindowStats {
+  MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+  bool valid = false;
+  double window_s = 0.0;       // time spanned by the retained samples
+  std::uint64_t delta = 0;     // counter increase / histogram samples in window
+  double rate_per_s = 0.0;     // delta / window_s
+  double last = 0.0;           // gauge: newest sampled value
+  double avg = 0.0;            // histogram: mean of the window's samples
+  double p50 = 0.0;            // histogram: windowed quantile estimates
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class TimeSeries {
+ public:
+  /// Retains up to `capacity` samples per metric (>= 2 to ever be valid).
+  explicit TimeSeries(std::size_t capacity = 64);
+
+  /// Folds one registry snapshot into the rings. `now_ms` is the caller's
+  /// monotonic clock; samples must be fed in non-decreasing time order.
+  void sample(const std::vector<MetricSnapshot>& metrics, std::uint64_t now_ms);
+
+  /// sample() with registry().snapshot() at the process steady clock.
+  void sample_now();
+
+  /// Windowed stats for every tracked metric, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, WindowStats>> window() const;
+
+  /// Windowed stats for one metric. False if it was never sampled.
+  [[nodiscard]] bool lookup(std::string_view name, WindowStats& out) const;
+
+  /// Total sample() calls folded in so far.
+  [[nodiscard]] std::uint64_t samples() const;
+
+ private:
+  struct Point {
+    std::uint64_t t_ms = 0;
+    std::uint64_t count = 0;  // counter value / histogram sample count
+    double value = 0.0;       // gauge value
+    std::uint64_t sum = 0;    // histogram running sum
+    std::uint64_t max = 0;    // histogram observed max
+    std::vector<std::uint64_t> bucket_counts;  // cumulative, histograms only
+  };
+  struct Series {
+    MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+    std::vector<std::uint64_t> bounds;  // histogram bounds incl. sentinel
+    std::deque<Point> points;           // oldest first, size <= capacity
+  };
+
+  static WindowStats window_of(const Series& s);
+
+  mutable std::mutex mu_;
+  const std::size_t capacity_;
+  std::uint64_t samples_ = 0;
+  std::map<std::string, Series, std::less<>> series_;
+};
+
+}  // namespace ecl::obs

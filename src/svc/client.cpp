@@ -19,6 +19,15 @@ Client::Client(int fd, ClientOptions opts, bool is_unix, std::string host_or_pat
       port_(port),
       jitter_(opts.backoff_seed) {
   net::set_io_timeouts(fd_, opts_.op_timeout_ms, opts_.op_timeout_ms);
+  // Seed != default: start the id sequence at a seed-derived 64-bit base
+  // (splitmix64 finalizer) so concurrent clients — loadgen workers already
+  // scramble their seeds — stamp distinguishable ids into the slow log.
+  if (opts_.backoff_seed != ClientOptions{}.backoff_seed) {
+    std::uint64_t z = opts_.backoff_seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    next_id_ = (z ^ (z >> 31)) | 1;
+  }
 }
 
 std::unique_ptr<Client> Client::connect_tcp(const std::string& host, int port,

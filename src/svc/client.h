@@ -104,6 +104,13 @@ class Client {
   /// Cumulative successful reconnects after transport failures.
   [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
 
+  /// The request id stamped on the most recent attempt (each retry re-sends
+  /// under a fresh id). The server echoes this id in its response and in the
+  /// slow-request log, so a caller that just observed a slow op can look the
+  /// server-side breakdown up by id (docs/OBSERVABILITY.md "Slow-request
+  /// log"). 0 before the first request.
+  [[nodiscard]] std::uint64_t last_request_id() const { return next_id_ - 1; }
+
  private:
   Client(int fd, ClientOptions opts, bool is_unix, std::string host_or_path, int port);
 
@@ -127,6 +134,10 @@ class Client {
   const bool is_unix_;
   const std::string host_or_path_;  // reconnect target
   const int port_;
+  // Ids count up from a per-client base derived from backoff_seed (see the
+  // constructor), so ids from different clients of one daemon rarely collide
+  // and the slow-request log stays attributable. The default seed keeps the
+  // classic 1, 2, 3, ... sequence for deterministic tests.
   std::uint64_t next_id_ = 1;
   std::uint64_t retries_ = 0;
   std::uint64_t reconnects_ = 0;

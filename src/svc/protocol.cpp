@@ -1,6 +1,8 @@
 #include "svc/protocol.h"
 
 #include <cstring>
+#include <iterator>
+#include <utility>
 
 namespace ecl::svc {
 
@@ -11,6 +13,11 @@ namespace {
 // plain loads/stores.
 
 void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -27,6 +34,14 @@ class Reader {
   bool u8(std::uint8_t& v) {
     if (pos_ + 1 > data_.size()) return false;
     v = data_[pos_++];
+    return true;
+  }
+
+  bool u16(std::uint16_t& v) {
+    if (pos_ + 2 > data_.size()) return false;
+    v = static_cast<std::uint16_t>(data_[pos_] |
+                                   (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
     return true;
   }
 
@@ -64,7 +79,114 @@ void finish_frame(std::vector<std::uint8_t>& out, std::size_t frame_start) {
   }
 }
 
+/// The tagged kStats body: every field as a (tag, u64) pair behind a count,
+/// so readers index by tag instead of by offset.
+void encode_stats_body(const ServiceStats& st, std::vector<std::uint8_t>& out) {
+  const std::pair<StatsField, std::uint64_t> fields[] = {
+      {StatsField::kEpoch, st.epoch},
+      {StatsField::kWatermark, st.watermark},
+      {StatsField::kAppliedEdges, st.applied_edges},
+      {StatsField::kAcceptedBatches, st.accepted_batches},
+      {StatsField::kAppliedBatches, st.applied_batches},
+      {StatsField::kShedBatches, st.shed_batches},
+      {StatsField::kQueueDepth, st.queue_depth},
+      {StatsField::kNumComponents, st.num_components},
+      {StatsField::kNumVertices, st.num_vertices},
+      {StatsField::kCheckpoints, st.checkpoints},
+      {StatsField::kLastCheckpointEpoch, st.last_checkpoint_epoch},
+      {StatsField::kWalSegments, st.wal_segments},
+      {StatsField::kWalBytes, st.wal_bytes},
+      {StatsField::kDegraded, st.degraded ? 1u : 0u},
+      {StatsField::kUptimeMs, st.uptime_ms},
+      {StatsField::kReplayedEdges, st.replayed_edges},
+      {StatsField::kRequestsServed, st.requests_served},
+  };
+  put_u8(out, kStatsTaggedFormat);
+  put_u16(out, static_cast<std::uint16_t>(std::size(fields)));
+  for (const auto& [tag, value] : fields) {
+    put_u16(out, static_cast<std::uint16_t>(tag));
+    put_u64(out, value);
+  }
+}
+
+bool decode_stats_body_tagged(Reader& r, ServiceStats& st) {
+  std::uint8_t format = 0;
+  if (!r.u8(format) || format != kStatsTaggedFormat) return false;
+  std::uint16_t field_count = 0;
+  if (!r.u16(field_count)) return false;
+  if (r.remaining() != static_cast<std::size_t>(field_count) * 10) return false;
+  for (std::uint16_t i = 0; i < field_count; ++i) {
+    std::uint16_t tag = 0;
+    std::uint64_t value = 0;
+    if (!r.u16(tag) || !r.u64(value)) return false;
+    switch (static_cast<StatsField>(tag)) {
+      case StatsField::kEpoch: st.epoch = value; break;
+      case StatsField::kWatermark: st.watermark = value; break;
+      case StatsField::kAppliedEdges: st.applied_edges = value; break;
+      case StatsField::kAcceptedBatches: st.accepted_batches = value; break;
+      case StatsField::kAppliedBatches: st.applied_batches = value; break;
+      case StatsField::kShedBatches: st.shed_batches = value; break;
+      case StatsField::kQueueDepth: st.queue_depth = value; break;
+      case StatsField::kNumComponents:
+        st.num_components = static_cast<vertex_t>(value);
+        break;
+      case StatsField::kNumVertices:
+        st.num_vertices = static_cast<vertex_t>(value);
+        break;
+      case StatsField::kCheckpoints: st.checkpoints = value; break;
+      case StatsField::kLastCheckpointEpoch: st.last_checkpoint_epoch = value; break;
+      case StatsField::kWalSegments: st.wal_segments = value; break;
+      case StatsField::kWalBytes: st.wal_bytes = value; break;
+      case StatsField::kDegraded: st.degraded = value != 0; break;
+      case StatsField::kUptimeMs: st.uptime_ms = value; break;
+      case StatsField::kReplayedEdges: st.replayed_edges = value; break;
+      case StatsField::kRequestsServed: st.requests_served = value; break;
+      default:
+        break;  // a newer server's field: skip, never fail
+    }
+  }
+  return true;
+}
+
+/// The pre-tagging fixed body: exactly 13 x u64 in declaration order.
+bool decode_stats_body_legacy(Reader& r, ServiceStats& st) {
+  std::uint64_t components = 0;
+  std::uint64_t vertices = 0;
+  if (!r.u64(st.epoch) || !r.u64(st.watermark) || !r.u64(st.applied_edges) ||
+      !r.u64(st.accepted_batches) || !r.u64(st.applied_batches) ||
+      !r.u64(st.shed_batches) || !r.u64(st.queue_depth) || !r.u64(components) ||
+      !r.u64(vertices) || !r.u64(st.checkpoints) || !r.u64(st.last_checkpoint_epoch) ||
+      !r.u64(st.wal_segments) || !r.u64(st.wal_bytes)) {
+    return false;
+  }
+  st.num_components = static_cast<vertex_t>(components);
+  st.num_vertices = static_cast<vertex_t>(vertices);
+  return true;
+}
+
 }  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kIngest:
+      return "ingest";
+    case MsgType::kConnected:
+      return "connected";
+    case MsgType::kComponentOf:
+      return "component_of";
+    case MsgType::kComponentCount:
+      return "component_count";
+    case MsgType::kStats:
+      return "stats";
+    case MsgType::kShutdown:
+      return "shutdown";
+    case MsgType::kHealth:
+      return "health";
+  }
+  return "?";
+}
 
 const char* status_name(Status s) {
   switch (s) {
@@ -127,19 +249,7 @@ void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
       put_u64(out, resp.value);
       break;
     case MsgType::kStats:
-      put_u64(out, resp.stats.epoch);
-      put_u64(out, resp.stats.watermark);
-      put_u64(out, resp.stats.applied_edges);
-      put_u64(out, resp.stats.accepted_batches);
-      put_u64(out, resp.stats.applied_batches);
-      put_u64(out, resp.stats.shed_batches);
-      put_u64(out, resp.stats.queue_depth);
-      put_u64(out, resp.stats.num_components);
-      put_u64(out, resp.stats.num_vertices);
-      put_u64(out, resp.stats.checkpoints);
-      put_u64(out, resp.stats.last_checkpoint_epoch);
-      put_u64(out, resp.stats.wal_segments);
-      put_u64(out, resp.stats.wal_bytes);
+      encode_stats_body(resp.stats, out);
       break;
     case MsgType::kHealth:
       put_u8(out, resp.health.degraded ? 1 : 0);
@@ -231,18 +341,14 @@ bool decode_response(std::span<const std::uint8_t> payload, Response& resp) {
       if (!r.u64(resp.value)) return false;
       break;
     case MsgType::kStats: {
-      std::uint64_t components = 0;
-      std::uint64_t vertices = 0;
-      if (!r.u64(resp.stats.epoch) || !r.u64(resp.stats.watermark) ||
-          !r.u64(resp.stats.applied_edges) || !r.u64(resp.stats.accepted_batches) ||
-          !r.u64(resp.stats.applied_batches) || !r.u64(resp.stats.shed_batches) ||
-          !r.u64(resp.stats.queue_depth) || !r.u64(components) || !r.u64(vertices) ||
-          !r.u64(resp.stats.checkpoints) || !r.u64(resp.stats.last_checkpoint_epoch) ||
-          !r.u64(resp.stats.wal_segments) || !r.u64(resp.stats.wal_bytes)) {
-        return false;
+      // A legacy daemon's body is exactly 13 x u64 = 104 bytes; a tagged
+      // body is 3 + 10n bytes, which is never 104, so the length picks the
+      // parser unambiguously.
+      if (r.remaining() == 13 * 8) {
+        if (!decode_stats_body_legacy(r, resp.stats)) return false;
+      } else {
+        if (!decode_stats_body_tagged(r, resp.stats)) return false;
       }
-      resp.stats.num_components = static_cast<vertex_t>(components);
-      resp.stats.num_vertices = static_cast<vertex_t>(vertices);
       break;
     }
     case MsgType::kHealth: {

@@ -22,12 +22,21 @@
 //   kConnected                    u64 value (0/1)
 //   kComponentOf                  u64 value (label; kInvalidVertex if bad v)
 //   kComponentCount               u64 value
-//   kStats                        13 x u64: epoch, watermark, applied_edges,
+//   kStats                        tagged fields (since the telemetry PR):
+//                                 u8 format (= 1) | u16 field_count |
+//                                 field_count x (u16 tag | u64 value), tags
+//                                 from StatsField below. Unknown tags are
+//                                 skipped on decode, so new stats never
+//                                 break old clients again. The decoder also
+//                                 accepts the legacy fixed body — exactly
+//                                 13 x u64 (epoch, watermark, applied_edges,
 //                                 accepted_batches, applied_batches,
 //                                 shed_batches, queue_depth, num_components,
 //                                 num_vertices, checkpoints,
 //                                 last_checkpoint_epoch, wal_segments,
-//                                 wal_bytes
+//                                 wal_bytes = 104 bytes, a length no tagged
+//                                 body can have: 3 + 10 x n != 104) — so new
+//                                 clients interoperate with old daemons.
 //   kHealth                       4 x u8: degraded, ingest_worker_alive,
 //                                 wal_enabled, wal_healthy; then 6 x u64:
 //                                 queue_depth, staleness_edges,
@@ -79,6 +88,35 @@ enum class Status : std::uint8_t {
 };
 
 [[nodiscard]] const char* status_name(Status s);
+
+/// Protocol op name ("ping", "ingest", ...), for logs and dashboards.
+[[nodiscard]] const char* msg_type_name(MsgType t);
+
+/// Field tags for the tagged kStats response body. Values are wire protocol:
+/// never renumber, only append. A decoder skips tags it does not know.
+enum class StatsField : std::uint16_t {
+  kEpoch = 1,
+  kWatermark = 2,
+  kAppliedEdges = 3,
+  kAcceptedBatches = 4,
+  kAppliedBatches = 5,
+  kShedBatches = 6,
+  kQueueDepth = 7,
+  kNumComponents = 8,
+  kNumVertices = 9,
+  kCheckpoints = 10,
+  kLastCheckpointEpoch = 11,
+  kWalSegments = 12,
+  kWalBytes = 13,
+  kDegraded = 14,
+  kUptimeMs = 15,
+  kReplayedEdges = 16,
+  kRequestsServed = 17,
+};
+
+/// Marker byte opening a tagged kStats body (the legacy fixed body is
+/// recognized by its exact 104-byte length instead).
+inline constexpr std::uint8_t kStatsTaggedFormat = 1;
 
 /// Frames larger than this are rejected as malformed (protects the server
 /// from hostile or corrupt length prefixes).

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "svc/net.h"
@@ -184,12 +185,23 @@ void Server::handle_connection(Connection* conn) {
       break;
     }
     if (rst != net::IoStatus::kOk) break;  // kEof (clean close) or kError
-    Timer t;
+    const double start_us = obs::Tracer::now_us();
+    Timer total;
+    Timer phase;
     Response resp;
     bool decoded = false;
+    std::uint64_t decode_us = 0;
+    std::uint64_t execute_us = 0;
+    std::uint64_t encode_us = 0;
+    std::uint64_t write_us = 0;
     try {
       decoded = decode_request(payload, req);
-      if (decoded) resp = dispatch(req);
+      decode_us = static_cast<std::uint64_t>(phase.micros());
+      if (decoded) {
+        phase.reset();
+        resp = dispatch(req);
+        execute_us = static_cast<std::uint64_t>(phase.micros());
+      }
     } catch (...) {
       // One bad request (e.g. an allocation failure while decoding) must
       // never escape the handler thread and terminate the daemon.
@@ -205,8 +217,12 @@ void Server::handle_connection(Connection* conn) {
       break;  // framing is untrustworthy now; drop the connection
     }
     reply.clear();
+    phase.reset();
     encode_response(resp, reply);
+    encode_us = static_cast<std::uint64_t>(phase.micros());
+    phase.reset();
     const net::IoStatus wst = net::write_frame_io(fd, reply);
+    write_us = static_cast<std::uint64_t>(phase.micros());
     if (wst != net::IoStatus::kOk) {
       if (wst == net::IoStatus::kTimeout) {
         ECL_OBS_COUNTER_ADD("ecl.svc.server.evicted_slow", 1);
@@ -214,7 +230,10 @@ void Server::handle_connection(Connection* conn) {
       break;
     }
     requests_served_.fetch_add(1, std::memory_order_relaxed);
-    record_op_latency(req.type, static_cast<std::uint64_t>(t.micros()));
+    const auto total_us = static_cast<std::uint64_t>(total.micros());
+    record_op_latency(req.type, total_us);
+    finish_request(req, resp, start_us, total_us, decode_us, execute_us, encode_us,
+                   write_us);
     if (req.type == MsgType::kShutdown) {
       request_shutdown();
       break;
@@ -228,6 +247,48 @@ void Server::handle_connection(Connection* conn) {
   // Last act: hand the Connection to the accept loop's reaper, which joins
   // this thread and frees the node. Nothing may touch *conn after this.
   conn->done.store(true, std::memory_order_release);
+}
+
+void Server::finish_request(const Request& req, const Response& resp, double start_us,
+                            std::uint64_t total_us, std::uint64_t decode_us,
+                            std::uint64_t execute_us, std::uint64_t encode_us,
+                            std::uint64_t write_us) {
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    // Recorded post-hoc (not via Span) so the event carries the measured
+    // phase breakdown and covers exactly decode..write.
+    obs::TraceEvent ev;
+    ev.name = "svc.request";
+    ev.category = "svc";
+    ev.ts_us = start_us;
+    ev.dur_us = static_cast<double>(total_us);
+    ev.tid = static_cast<std::uint32_t>(obs::detail::thread_index());
+    ev.args.reserve(7);
+    ev.args.emplace_back("request_id", std::to_string(req.id));
+    ev.args.emplace_back("op", '"' + std::string(msg_type_name(req.type)) + '"');
+    ev.args.emplace_back("status", '"' + std::string(status_name(resp.status)) + '"');
+    ev.args.emplace_back("decode_us", std::to_string(decode_us));
+    ev.args.emplace_back("execute_us", std::to_string(execute_us));
+    ev.args.emplace_back("encode_us", std::to_string(encode_us));
+    ev.args.emplace_back("write_us", std::to_string(write_us));
+    tracer.record(std::move(ev));
+  }
+  if (opts_.slow_log != nullptr && opts_.slow_log->enabled()) {
+    obs::RequestLogRecord rec;
+    rec.request_id = req.id;
+    rec.op = msg_type_name(req.type);
+    rec.status = status_name(resp.status);
+    rec.queue_depth = service_.queue_depth();
+    rec.total_us = total_us;
+    rec.decode_us = decode_us;
+    rec.queue_us = 0;  // no admission queue in the thread-per-connection server
+    rec.execute_us = execute_us;
+    rec.encode_us = encode_us;
+    rec.write_us = write_us;
+    if (opts_.slow_log->log(rec)) {
+      ECL_OBS_COUNTER_ADD("ecl.svc.server.slow_requests", 1);
+    }
+  }
 }
 
 Response Server::dispatch(const Request& req) {
@@ -271,6 +332,7 @@ Response Server::dispatch(const Request& req) {
       break;
     case MsgType::kStats:
       resp.stats = service_.stats();
+      resp.stats.requests_served = requests_served();
       break;
     case MsgType::kHealth:
       resp.health = service_.health();

@@ -23,6 +23,10 @@
 #include "svc/protocol.h"
 #include "svc/service.h"
 
+namespace ecl::obs {
+class RequestLog;
+}  // namespace ecl::obs
+
 namespace ecl::svc {
 
 struct ServerOptions {
@@ -43,6 +47,10 @@ struct ServerOptions {
   /// SO_SNDTIMEO for responses: a peer that stops draining its socket is
   /// evicted once the send buffer stays full this long. 0 = OS default.
   int send_timeout_ms = 10000;
+  /// Slow-request sink (owned by the caller, must outlive the server). Every
+  /// served request is offered with its per-phase latency breakdown; the log
+  /// applies its own threshold. Null disables.
+  obs::RequestLog* slow_log = nullptr;
 };
 
 class Server {
@@ -95,6 +103,12 @@ class Server {
   /// Joins and discards every connection whose handler has finished.
   void reap_finished();
   Response dispatch(const Request& req);
+  /// Post-write bookkeeping for one served request: the per-request trace
+  /// event (when the tracer is on) and the slow-request log offer.
+  void finish_request(const Request& req, const Response& resp, double start_us,
+                      std::uint64_t total_us, std::uint64_t decode_us,
+                      std::uint64_t execute_us, std::uint64_t encode_us,
+                      std::uint64_t write_us);
 
   ConnectivityService& service_;
   const ServerOptions opts_;

@@ -595,6 +595,9 @@ ServiceStats ConnectivityService::stats() const {
   s.last_checkpoint_epoch = last_ckpt_epoch_.load(std::memory_order_relaxed);
   s.wal_segments = wal_segments_.load(std::memory_order_relaxed);
   s.wal_bytes = wal_bytes_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_acquire);
+  s.uptime_ms = now_ms();
+  s.replayed_edges = replayed_edges_;
   return s;
 }
 

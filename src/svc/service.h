@@ -108,6 +108,12 @@ struct ServiceStats {
   std::uint64_t last_checkpoint_epoch = 0;  // 0 if none written or loaded
   std::uint64_t wal_segments = 0;           // retained segments, active incl.
   std::uint64_t wal_bytes = 0;              // on-disk bytes across them
+  // Tagged-only fields (absent from the legacy 13 x u64 wire body; decoded
+  // as their zero defaults when talking to an old server).
+  bool degraded = false;                 // read-only mode (docs/ROBUSTNESS.md)
+  std::uint64_t uptime_ms = 0;           // since service construction
+  std::uint64_t replayed_edges = 0;      // recovered from the WAL at startup
+  std::uint64_t requests_served = 0;     // filled by the server front end
 };
 
 /// One liveness/durability sample, for the kHealth RPC and the chaos tests
@@ -203,6 +209,10 @@ class ConnectivityService {
 
   [[nodiscard]] vertex_t num_vertices() const { return num_vertices_; }
   [[nodiscard]] ServiceStats stats() const;
+
+  /// Current ingest-queue depth (admitted, not yet applied batches). Cheap
+  /// enough for per-request logging, unlike a full stats() sample.
+  [[nodiscard]] std::uint64_t queue_depth() const { return queue_.size(); }
 
   // --- robustness ----------------------------------------------------------
 

@@ -9,7 +9,9 @@
 // TearDown — gtest_discover_tests runs cases in separate processes, but the
 // discipline keeps same-process runs (--gtest_filter=*) honest too.
 #include <gtest/gtest.h>
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "obs/exporter.h"
 #include "svc/client.h"
 #include "svc/net.h"
 #include "svc/protocol.h"
@@ -589,6 +592,72 @@ TEST_F(DegradedModeTest, IngestWorkerDeathDegradesButReadsServe) {
   EXPECT_TRUE(service.connected(1, 2));
   EXPECT_EQ(service.component_of(9), 9u);
   service.stop();  // joins the already-dead worker without deadlock
+}
+
+// A raw-socket GET against the local exporter, so the test exercises the
+// same HTTP path a real scraper does.
+std::string scrape(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, req, sizeof req - 1, 0);
+  std::string resp;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) resp.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return resp;
+}
+
+TEST_F(DegradedModeTest, MetricsExporterKeepsServingWhileDegraded) {
+  const std::string wal = temp_path("degraded_exporter.wal");
+  std::remove(wal.c_str());
+  ServiceOptions opts;
+  opts.wal_path = wal;
+  ConnectivityService service(64, opts);
+
+  // The same collector wiring ecl_ccd uses: the exporter itself never sees
+  // svc types, the daemon injects service state as extra families.
+  obs::ExporterOptions eopts;
+  eopts.port = 0;
+  obs::MetricsExporter exporter(eopts);
+  exporter.add_collector([&service](std::string& out) {
+    const auto h = service.health();
+    out += "# TYPE ecl_svc_degraded gauge\necl_svc_degraded ";
+    out += h.degraded ? '1' : '0';
+    out += '\n';
+  });
+  std::string err;
+  ASSERT_TRUE(exporter.start(&err)) << err;
+
+  ASSERT_EQ(service.submit({{1, 2}}), Admission::kAccepted);
+  service.flush();
+  const std::string healthy = scrape(exporter.port());
+  EXPECT_NE(healthy.find("200 OK"), std::string::npos);
+  EXPECT_NE(healthy.find("ecl_svc_degraded 0\n"), std::string::npos);
+
+  // Break durability: ingest drops to read-only, but observability must be
+  // the last thing to die — the endpoint keeps answering, now with
+  // degraded=1 so alerts can fire.
+  arm("svc.wal.append", fault::Action::kFail, 1);
+  EXPECT_EQ(service.submit({{3, 4}}), Admission::kShed);
+  ASSERT_TRUE(eventually([&] { return service.degraded(); }));
+  const std::string degraded = scrape(exporter.port());
+  EXPECT_NE(degraded.find("200 OK"), std::string::npos);
+  EXPECT_NE(degraded.find("ecl_svc_degraded 1\n"), std::string::npos);
+  EXPECT_GE(exporter.scrapes(), 2u);
+
+  exporter.stop();
+  service.stop();
+  std::remove(wal.c_str());
 }
 
 // -------------------------------------------------- client retry policy ----

@@ -4,19 +4,30 @@
 #include <gtest/gtest.h>
 #include <omp.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ecl_cc.h"
 #include "core/engine.h"
 #include "graph/generators.h"
+#include "obs/exporter.h"
 #include "obs/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace ecl {
@@ -526,6 +537,379 @@ TEST(ObsInstrumentation, ComputeCountersPopulated) {
   // compute phase must perform actual hooks.
   EXPECT_GT(obs::registry().counter("ecl.hook.hooks_performed").value(), 0u);
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// percentile_from_buckets — the shared estimator's defined edge cases
+// (Histogram::percentile and the windowed TimeSeries both delegate here).
+
+TEST(PercentileFromBuckets, EmptyDistributionIsZero) {
+  const std::vector<std::uint64_t> bounds{10, 20, ~std::uint64_t{0}};
+  const std::vector<std::uint64_t> counts{0, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::percentile_from_buckets(bounds, counts, 0.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::percentile_from_buckets(bounds, counts, 0.5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::percentile_from_buckets(bounds, counts, 1.0, 0), 0.0);
+}
+
+TEST(PercentileFromBuckets, SingleSampleIsTheObservedMax) {
+  const std::vector<std::uint64_t> bounds{10, ~std::uint64_t{0}};
+  const std::vector<std::uint64_t> counts{1, 0};
+  // One sample: every quantile is that sample, and count/sum/max tracking
+  // knows it exactly — no interpolation guesswork.
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(obs::percentile_from_buckets(bounds, counts, q, 7), 7.0) << q;
+  }
+}
+
+TEST(PercentileFromBuckets, QuantileIsClampedToUnitInterval) {
+  const std::vector<std::uint64_t> bounds{10, ~std::uint64_t{0}};
+  const std::vector<std::uint64_t> counts{4, 0};
+  const double at_zero = obs::percentile_from_buckets(bounds, counts, 0.0, 9);
+  const double at_one = obs::percentile_from_buckets(bounds, counts, 1.0, 9);
+  EXPECT_DOUBLE_EQ(obs::percentile_from_buckets(bounds, counts, -3.0, 9), at_zero);
+  EXPECT_DOUBLE_EQ(obs::percentile_from_buckets(bounds, counts, 42.0, 9), at_one);
+}
+
+TEST(PercentileFromBuckets, AllSamplesInOverflowInterpolateToObservedMax) {
+  // Every sample beyond the largest finite bound: the overflow bucket's
+  // missing upper edge is stood in by the observed max, so estimates stay
+  // inside [largest finite bound, observed max].
+  const std::vector<std::uint64_t> bounds{10, ~std::uint64_t{0}};
+  const std::vector<std::uint64_t> counts{0, 4};
+  const double p50 = obs::percentile_from_buckets(bounds, counts, 0.5, 100);
+  const double p100 = obs::percentile_from_buckets(bounds, counts, 1.0, 100);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_DOUBLE_EQ(p100, 100.0);
+}
+
+TEST(PercentileFromBuckets, EstimateNeverExceedsObservedMax) {
+  const std::vector<std::uint64_t> bounds{100, ~std::uint64_t{0}};
+  const std::vector<std::uint64_t> counts{10, 0};
+  // All ten samples were really 3; interpolation inside (0, 100] would claim
+  // more, but the clamp to the observed max keeps the estimate honest.
+  EXPECT_DOUBLE_EQ(obs::percentile_from_buckets(bounds, counts, 0.99, 3), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeries — sliding windows over registry snapshots
+
+obs::MetricSnapshot make_counter_snap(const std::string& name, std::uint64_t v) {
+  obs::MetricSnapshot m;
+  m.name = name;
+  m.kind = obs::MetricSnapshot::Kind::kCounter;
+  m.count = v;
+  return m;
+}
+
+obs::MetricSnapshot make_gauge_snap(const std::string& name, double v) {
+  obs::MetricSnapshot m;
+  m.name = name;
+  m.kind = obs::MetricSnapshot::Kind::kGauge;
+  m.value = v;
+  return m;
+}
+
+obs::MetricSnapshot make_hist_snap(const std::string& name,
+                                   std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets,
+                                   std::uint64_t sum, std::uint64_t max) {
+  obs::MetricSnapshot m;
+  m.name = name;
+  m.kind = obs::MetricSnapshot::Kind::kHistogram;
+  m.buckets = std::move(buckets);
+  for (const auto& [bound, count] : m.buckets) m.count += count;
+  m.sum = sum;
+  m.max = max;
+  return m;
+}
+
+TEST(ObsTimeSeries, SingleSampleIsNotAValidWindow) {
+  obs::TimeSeries ts(8);
+  ts.sample({make_counter_snap("c", 10)}, 0);
+  obs::WindowStats w;
+  ASSERT_TRUE(ts.lookup("c", w));
+  EXPECT_FALSE(w.valid);
+  EXPECT_FALSE(ts.lookup("never.sampled", w));
+}
+
+TEST(ObsTimeSeries, CounterDeltaAndRate) {
+  obs::TimeSeries ts(8);
+  ts.sample({make_counter_snap("c", 100)}, 0);
+  ts.sample({make_counter_snap("c", 350)}, 2000);
+  obs::WindowStats w;
+  ASSERT_TRUE(ts.lookup("c", w));
+  EXPECT_TRUE(w.valid);
+  EXPECT_EQ(w.kind, obs::MetricSnapshot::Kind::kCounter);
+  EXPECT_EQ(w.delta, 250u);
+  EXPECT_DOUBLE_EQ(w.window_s, 2.0);
+  EXPECT_DOUBLE_EQ(w.rate_per_s, 125.0);
+}
+
+TEST(ObsTimeSeries, RegistryResetClampsDeltaToZero) {
+  obs::TimeSeries ts(8);
+  ts.sample({make_counter_snap("c", 100)}, 0);
+  ts.sample({make_counter_snap("c", 40)}, 1000);  // reset() mid-window
+  obs::WindowStats w;
+  ASSERT_TRUE(ts.lookup("c", w));
+  EXPECT_EQ(w.delta, 0u);
+  EXPECT_DOUBLE_EQ(w.rate_per_s, 0.0);
+}
+
+TEST(ObsTimeSeries, GaugeReportsNewestValue) {
+  obs::TimeSeries ts(8);
+  ts.sample({make_gauge_snap("g", 1.0)}, 0);
+  ts.sample({make_gauge_snap("g", -7.5)}, 1000);
+  obs::WindowStats w;
+  ASSERT_TRUE(ts.lookup("g", w));
+  EXPECT_EQ(w.kind, obs::MetricSnapshot::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(w.last, -7.5);
+}
+
+TEST(ObsTimeSeries, WindowedHistogramPercentilesCoverOnlyTheWindow) {
+  const std::uint64_t inf = ~std::uint64_t{0};
+  obs::TimeSeries ts(8);
+  // Before the window: ten fast samples (all <= 10).
+  ts.sample({make_hist_snap("h", {{10, 10}, {20, 0}, {inf, 0}}, 50, 5)}, 0);
+  // Inside the window: ten slow samples in (10, 20].
+  ts.sample({make_hist_snap("h", {{10, 10}, {20, 10}, {inf, 0}}, 200, 18)}, 1000);
+  obs::WindowStats w;
+  ASSERT_TRUE(ts.lookup("h", w));
+  EXPECT_TRUE(w.valid);
+  EXPECT_EQ(w.delta, 10u);
+  EXPECT_DOUBLE_EQ(w.avg, 15.0);  // (200 - 50) / 10
+  // The lifetime p50 would sit at 10 (half fast, half slow); the windowed
+  // p50 sees only the slow bucket.
+  EXPECT_DOUBLE_EQ(w.p50, 15.0);
+  // Interpolation would claim 19.9, but the observed max clamps it.
+  EXPECT_DOUBLE_EQ(w.p99, 18.0);
+}
+
+TEST(ObsTimeSeries, CapacityEvictsOldestSamples) {
+  obs::TimeSeries ts(2);  // minimum window: newest two samples
+  for (std::uint64_t i = 0; i <= 4; ++i) {
+    ts.sample({make_counter_snap("c", i * 10)}, i * 1000);
+  }
+  obs::WindowStats w;
+  ASSERT_TRUE(ts.lookup("c", w));
+  EXPECT_EQ(w.delta, 10u);  // only the last step survives eviction
+  EXPECT_DOUBLE_EQ(w.window_s, 1.0);
+  EXPECT_EQ(ts.samples(), 5u);
+}
+
+TEST(ObsTimeSeries, SampleNowFoldsTheLiveRegistry) {
+  obs::Counter& c = obs::registry().counter("test.ts.live");
+  c.reset();
+  obs::TimeSeries ts(4);
+  ts.sample_now();
+  c.add(5);
+  ts.sample_now();
+  obs::WindowStats w;
+  ASSERT_TRUE(ts.lookup("test.ts.live", w));
+  EXPECT_TRUE(w.valid);
+  EXPECT_EQ(w.delta, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// RequestLog — slow-request JSON lines
+
+TEST(ObsRequestLog, ClosedLogDropsEverything) {
+  obs::RequestLog log;
+  EXPECT_FALSE(log.enabled());
+  obs::RequestLogRecord rec;
+  rec.total_us = 1000000;
+  EXPECT_FALSE(log.log(rec));
+  EXPECT_EQ(log.lines(), 0u);
+}
+
+TEST(ObsRequestLog, ThresholdGatesAndLinesAreValidJson) {
+  const std::string path = temp_path("ecl_obs_test_slow.jsonl");
+  std::filesystem::remove(path);
+  obs::RequestLog log;
+  ASSERT_TRUE(log.open(path, 100));
+  EXPECT_TRUE(log.enabled());
+  EXPECT_EQ(log.threshold_us(), 100u);
+
+  obs::RequestLogRecord fast;
+  fast.request_id = 1;
+  fast.op = "ping";
+  fast.status = "ok";
+  fast.total_us = 99;
+  EXPECT_FALSE(log.log(fast));  // under threshold
+
+  obs::RequestLogRecord slow;
+  slow.request_id = 0xdeadbeef;
+  slow.op = "ingest";
+  slow.status = "shed";
+  slow.queue_depth = 7;
+  slow.total_us = 5210;
+  slow.decode_us = 12;
+  slow.execute_us = 5100;
+  slow.encode_us = 2;
+  slow.write_us = 96;
+  EXPECT_TRUE(log.log(slow));
+  EXPECT_EQ(log.lines(), 1u);
+  log.close();
+  EXPECT_FALSE(log.enabled());
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+  }
+  EXPECT_EQ(lines, 1u);
+  in.clear();
+  in.seekg(0);
+  std::stringstream all;
+  all << in.rdbuf();
+  const std::string text = all.str();
+  EXPECT_NE(text.find("\"request_id\":3735928559"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"op\":\"ingest\""), std::string::npos);
+  EXPECT_NE(text.find("\"status\":\"shed\""), std::string::npos);
+  EXPECT_NE(text.find("\"queue_depth\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"execute_us\":5100"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(ObsRequestLog, ZeroThresholdLogsEveryRequest) {
+  const std::string path = temp_path("ecl_obs_test_slow_all.jsonl");
+  std::filesystem::remove(path);
+  obs::RequestLog log;
+  ASSERT_TRUE(log.open(path, 0));
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    obs::RequestLogRecord rec;
+    rec.request_id = i;
+    rec.op = "ping";
+    rec.status = "ok";
+    EXPECT_TRUE(log.log(rec));
+  }
+  EXPECT_EQ(log.lines(), 3u);
+  log.close();
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsExporter — Prometheus text exposition over HTTP
+
+TEST(ObsExporter, SanitizeNameMapsToPrometheusCharset) {
+  EXPECT_EQ(obs::MetricsExporter::sanitize_name("ecl.svc.op_us.ingest"),
+            "ecl_svc_op_us_ingest");
+  EXPECT_EQ(obs::MetricsExporter::sanitize_name("a-b c"), "a_b_c");
+  EXPECT_EQ(obs::MetricsExporter::sanitize_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::MetricsExporter::sanitize_name("ok_name:sub"), "ok_name:sub");
+}
+
+TEST(ObsExporter, RenderEmitsTypedFamiliesAndCumulativeBuckets) {
+  obs::registry().counter("test.exp.counter").reset();
+  obs::registry().counter("test.exp.counter").add(5);
+  obs::registry().gauge("test.exp.gauge").set(2.5);
+  obs::Histogram& h = obs::registry().histogram("test.exp.hist", {10, 20});
+  h.reset();
+  for (const std::uint64_t s : {5u, 15u, 15u, 99u}) h.record(s);
+
+  obs::MetricsExporter exporter;  // never started: render() needs no socket
+  const std::string body = exporter.render();
+  EXPECT_NE(body.find("# TYPE test_exp_counter counter"), std::string::npos);
+  EXPECT_NE(body.find("test_exp_counter 5\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE test_exp_gauge gauge"), std::string::npos);
+  EXPECT_NE(body.find("test_exp_gauge 2.5\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE test_exp_hist histogram"), std::string::npos);
+  // Disjoint registry buckets {1, 2, 1} render cumulatively {1, 3, 4}.
+  EXPECT_NE(body.find("test_exp_hist_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(body.find("test_exp_hist_bucket{le=\"20\"} 3\n"), std::string::npos);
+  EXPECT_NE(body.find("test_exp_hist_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(body.find("test_exp_hist_sum 134\n"), std::string::npos);
+  EXPECT_NE(body.find("test_exp_hist_count 4\n"), std::string::npos);
+  EXPECT_NE(body.find("ecl_exporter_scrapes_total"), std::string::npos);
+}
+
+TEST(ObsExporter, CollectorsAppendExtraFamilies) {
+  obs::MetricsExporter exporter;
+  exporter.add_collector([](std::string& out) {
+    out += "# TYPE test_collector_up gauge\ntest_collector_up 1\n";
+  });
+  const std::string body = exporter.render();
+  EXPECT_NE(body.find("test_collector_up 1\n"), std::string::npos);
+}
+
+TEST(ObsExporter, CollectorFamiliesShadowRegistryMetricsOfTheSameName) {
+  // The daemon's collector samples ecl_svc_epoch live at scrape time while
+  // the registry holds a gauge that sanitizes to the same family; emitting
+  // both would be a duplicate family (invalid exposition), so the collector
+  // wins and the registry copy is suppressed.
+  obs::registry().gauge("test.shadowed.epoch").set(1.0);
+  obs::MetricsExporter exporter;
+  exporter.add_collector([](std::string& out) {
+    out += "# TYPE test_shadowed_epoch gauge\ntest_shadowed_epoch 7\n";
+  });
+  const std::string body = exporter.render();
+  EXPECT_NE(body.find("test_shadowed_epoch 7\n"), std::string::npos);
+  EXPECT_EQ(body.find("test_shadowed_epoch 1\n"), std::string::npos);
+  EXPECT_EQ(body.find("# TYPE test_shadowed_epoch gauge"),
+            body.rfind("# TYPE test_shadowed_epoch gauge"));
+}
+
+// One raw-socket HTTP GET; keeps the test free of any client library.
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect failed: " << std::strerror(errno);
+    return {};
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: test\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0), static_cast<ssize_t>(req.size()));
+  std::string resp;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+TEST(ObsExporter, ServesScrapesOnEphemeralPort) {
+  obs::registry().counter("test.exp.live").add(1);
+  obs::ExporterOptions opts;
+  opts.port = 0;  // ephemeral
+  opts.sample_interval_ms = 10;
+  obs::MetricsExporter exporter(opts);
+  std::string err;
+  ASSERT_TRUE(exporter.start(&err)) << err;
+  ASSERT_GT(exporter.port(), 0);
+
+  const std::string ok = http_get(exporter.port(), "/metrics");
+  EXPECT_NE(ok.find("HTTP/1.0 200 OK"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(ok.find("test_exp_live"), std::string::npos);
+  EXPECT_NE(ok.find("ecl_exporter_scrapes_total"), std::string::npos);
+
+  const std::string missing = http_get(exporter.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos) << missing;
+  EXPECT_EQ(exporter.scrapes(), 1u);  // the 404 is not a scrape
+
+  // The serve loop samples on its cadence; once two samples exist the body
+  // grows windowed gauges.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (exporter.series().samples() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(exporter.series().samples(), 2u);
+  const std::string windowed = http_get(exporter.port(), "/metrics");
+  EXPECT_NE(windowed.find("_window_rate"), std::string::npos) << windowed.substr(0, 512);
+  EXPECT_NE(windowed.find("ecl_exporter_window_seconds"), std::string::npos);
+
+  exporter.stop();
+  EXPECT_FALSE(exporter.running());
+  exporter.stop();  // idempotent
 }
 
 // ---------------------------------------------------------------------------

@@ -356,6 +356,148 @@ TEST(Protocol, ResponseRoundTripCarriesStatsAndStatus) {
   EXPECT_EQ(out.status, Status::kShed);
 }
 
+TEST(Protocol, StatsTaggedRoundTripCarriesEveryField) {
+  Response in;
+  in.type = MsgType::kStats;
+  in.id = 7;
+  in.status = Status::kOk;
+  in.stats.epoch = 11;
+  in.stats.watermark = 22;
+  in.stats.applied_edges = 33;
+  in.stats.accepted_batches = 44;
+  in.stats.applied_batches = 43;
+  in.stats.shed_batches = 1;
+  in.stats.queue_depth = 5;
+  in.stats.num_components = 66;
+  in.stats.num_vertices = 77;
+  in.stats.checkpoints = 2;
+  in.stats.last_checkpoint_epoch = 9;
+  in.stats.wal_segments = 3;
+  in.stats.wal_bytes = 88;
+  // Fields that only exist in the tagged encoding:
+  in.stats.degraded = true;
+  in.stats.uptime_ms = 123456;
+  in.stats.replayed_edges = 999;
+  in.stats.requests_served = 31337;
+  std::vector<std::uint8_t> buf;
+  encode_response(in, buf);
+
+  Response out;
+  ASSERT_TRUE(decode_response(payload_of(buf), out));
+  EXPECT_EQ(out.stats.epoch, 11u);
+  EXPECT_EQ(out.stats.watermark, 22u);
+  EXPECT_EQ(out.stats.applied_edges, 33u);
+  EXPECT_EQ(out.stats.queue_depth, 5u);
+  EXPECT_EQ(out.stats.num_components, 66u);
+  EXPECT_EQ(out.stats.num_vertices, 77u);
+  EXPECT_EQ(out.stats.wal_bytes, 88u);
+  EXPECT_TRUE(out.stats.degraded);
+  EXPECT_EQ(out.stats.uptime_ms, 123456u);
+  EXPECT_EQ(out.stats.replayed_edges, 999u);
+  EXPECT_EQ(out.stats.requests_served, 31337u);
+}
+
+// Byte-level builders for hand-rolled stats bodies (a legacy peer's encoder
+// and a future peer's unknown tags don't exist in this codebase to call).
+void push_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void push_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::vector<std::uint8_t> stats_response_header() {
+  std::vector<std::uint8_t> p;
+  p.push_back(static_cast<std::uint8_t>(MsgType::kStats));
+  push_u64(p, 42);  // request id
+  p.push_back(static_cast<std::uint8_t>(Status::kOk));
+  return p;
+}
+
+TEST(Protocol, StatsLegacyFixedBodyStillDecodes) {
+  // A pre-tagging daemon's body: exactly 13 x u64 in declaration order.
+  std::vector<std::uint8_t> p = stats_response_header();
+  for (std::uint64_t v = 1; v <= 13; ++v) push_u64(p, v * 100);
+  ASSERT_EQ(p.size(), 1u + 8 + 1 + 13 * 8);
+
+  Response out;
+  ASSERT_TRUE(decode_response(p, out));
+  EXPECT_EQ(out.id, 42u);
+  EXPECT_EQ(out.stats.epoch, 100u);
+  EXPECT_EQ(out.stats.watermark, 200u);
+  EXPECT_EQ(out.stats.applied_edges, 300u);
+  EXPECT_EQ(out.stats.queue_depth, 700u);
+  EXPECT_EQ(out.stats.num_components, 800u);
+  EXPECT_EQ(out.stats.num_vertices, 900u);
+  EXPECT_EQ(out.stats.wal_bytes, 1300u);
+  // Tagged-only fields default cleanly when the peer predates them.
+  EXPECT_FALSE(out.stats.degraded);
+  EXPECT_EQ(out.stats.uptime_ms, 0u);
+  EXPECT_EQ(out.stats.replayed_edges, 0u);
+  EXPECT_EQ(out.stats.requests_served, 0u);
+}
+
+TEST(Protocol, StatsUnknownTagsAreSkipped) {
+  // A future daemon sends a field this build doesn't know: decode keeps the
+  // fields it recognizes and ignores the rest.
+  std::vector<std::uint8_t> p = stats_response_header();
+  p.push_back(kStatsTaggedFormat);
+  push_u16(p, 3);
+  push_u16(p, static_cast<std::uint16_t>(StatsField::kEpoch));
+  push_u64(p, 5);
+  push_u16(p, 999);  // unknown tag
+  push_u64(p, 0xdeadbeef);
+  push_u16(p, static_cast<std::uint16_t>(StatsField::kRequestsServed));
+  push_u64(p, 77);
+
+  Response out;
+  ASSERT_TRUE(decode_response(p, out));
+  EXPECT_EQ(out.stats.epoch, 5u);
+  EXPECT_EQ(out.stats.requests_served, 77u);
+  EXPECT_EQ(out.stats.watermark, 0u);
+}
+
+TEST(Protocol, StatsMalformedTaggedBodiesFail) {
+  {
+    // Count claims two fields but only one is present.
+    std::vector<std::uint8_t> p = stats_response_header();
+    p.push_back(kStatsTaggedFormat);
+    push_u16(p, 2);
+    push_u16(p, static_cast<std::uint16_t>(StatsField::kEpoch));
+    push_u64(p, 5);
+    Response out;
+    EXPECT_FALSE(decode_response(p, out));
+  }
+  {
+    // Trailing garbage beyond the declared fields.
+    std::vector<std::uint8_t> p = stats_response_header();
+    p.push_back(kStatsTaggedFormat);
+    push_u16(p, 1);
+    push_u16(p, static_cast<std::uint16_t>(StatsField::kEpoch));
+    push_u64(p, 5);
+    p.push_back(0xab);
+    Response out;
+    EXPECT_FALSE(decode_response(p, out));
+  }
+  {
+    // Unknown format byte.
+    std::vector<std::uint8_t> p = stats_response_header();
+    p.push_back(kStatsTaggedFormat + 1);
+    push_u16(p, 0);
+    Response out;
+    EXPECT_FALSE(decode_response(p, out));
+  }
+}
+
+TEST(Protocol, MsgTypeNamesAreStable) {
+  EXPECT_STREQ(msg_type_name(MsgType::kPing), "ping");
+  EXPECT_STREQ(msg_type_name(MsgType::kIngest), "ingest");
+  EXPECT_STREQ(msg_type_name(MsgType::kStats), "stats");
+  EXPECT_STREQ(msg_type_name(MsgType::kHealth), "health");
+}
+
 TEST(Protocol, RejectsMalformedPayloads) {
   Request req;
   EXPECT_FALSE(decode_request({}, req));  // empty

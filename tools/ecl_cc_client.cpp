@@ -230,6 +230,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(st.wal_segments));
     std::printf("wal_bytes         %llu\n",
                 static_cast<unsigned long long>(st.wal_bytes));
+    std::printf("degraded          %s\n", st.degraded ? "yes" : "no");
+    std::printf("uptime_ms         %llu\n",
+                static_cast<unsigned long long>(st.uptime_ms));
+    std::printf("replayed_edges    %llu\n",
+                static_cast<unsigned long long>(st.replayed_edges));
+    std::printf("requests_served   %llu\n",
+                static_cast<unsigned long long>(st.requests_served));
     return 0;
   }
 

@@ -36,10 +36,25 @@
 //   --frame-timeout-ms=N    evict clients that stall mid-frame (def. 10000)
 //   --idle-timeout-ms=N     evict connections idle this long (0 = never)
 //   --ready-file=PATH       write "unix <path>" or "tcp <host> <port>" once
-//                           listening (lets scripts wait for startup)
+//                           listening (lets scripts wait for startup); with
+//                           --metrics-port a "metrics <port>" line follows
 //   --report=FILE.json      write an obs run report on shutdown
-//   --trace=FILE.json       record trace spans (batches, compactions)
+//   --trace=FILE.json       record trace spans (batches, compactions, and
+//                           one "svc.request" span per served request with
+//                           its decode/execute/encode/write breakdown)
 //   --metrics               print the metrics snapshot on shutdown
+//   --metrics-port=P        serve Prometheus text exposition on
+//                           http://<metrics-host>:P/metrics (port 0 =
+//                           ephemeral, printed and written to --ready-file);
+//                           includes windowed rates and p50/p95/p99 plus
+//                           service/WAL/checkpoint families — see
+//                           docs/OBSERVABILITY.md "Live exporter". Omit the
+//                           flag to disable the exporter entirely.
+//   --metrics-host=A        exporter bind address (default 127.0.0.1)
+//   --slow-log=FILE         append a JSON line per slow request (request id,
+//                           op, queue depth, latency breakdown)
+//   --slow-threshold-us=N   requests at least this slow are logged (default
+//                           10000; 0 logs every request)
 //
 // Shutdown: SIGINT/SIGTERM or a protocol kShutdown message; either way the
 // daemon stops accepting, drains in-flight batches, runs a final compaction
@@ -51,6 +66,8 @@
 #include "common/cli.h"
 #include "graph/io.h"
 #include "graph/suite.h"
+#include "obs/exporter.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -63,6 +80,59 @@ ecl::svc::Server* g_server = nullptr;
 
 void handle_signal(int) {
   if (g_server != nullptr) g_server->request_shutdown();  // async-signal-safe
+}
+
+void append_family(std::string& out, const char* name, const char* type,
+                   std::uint64_t value) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+  out += name;
+  out += ' ';
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(value));
+  out += buf;
+  out += '\n';
+}
+
+/// Exporter collector: service/WAL/checkpoint families rendered from a fresh
+/// stats()+health() sample on every scrape, under the wire-stable names
+/// documented in docs/OBSERVABILITY.md. The degraded flag in particular must
+/// come from here — it is service state, not a registry metric — so the
+/// endpoint keeps answering `ecl_svc_degraded 1` after a WAL failure.
+void collect_service_families(const ecl::svc::ConnectivityService& service,
+                              const ecl::svc::Server& server, std::string& out) {
+  const auto st = service.stats();
+  const auto h = service.health();
+  append_family(out, "ecl_svc_up", "gauge", 1);
+  append_family(out, "ecl_svc_degraded", "gauge", h.degraded ? 1 : 0);
+  append_family(out, "ecl_svc_ingest_worker_alive", "gauge",
+                h.ingest_worker_alive ? 1 : 0);
+  append_family(out, "ecl_svc_uptime_ms", "gauge", st.uptime_ms);
+  append_family(out, "ecl_svc_requests_served_total", "counter",
+                server.requests_served());
+  append_family(out, "ecl_svc_epoch", "gauge", st.epoch);
+  append_family(out, "ecl_svc_watermark", "gauge", st.watermark);
+  append_family(out, "ecl_svc_applied_edges_total", "counter", st.applied_edges);
+  append_family(out, "ecl_svc_accepted_batches_total", "counter",
+                st.accepted_batches);
+  append_family(out, "ecl_svc_shed_batches_total", "counter", st.shed_batches);
+  append_family(out, "ecl_svc_queue_depth", "gauge", st.queue_depth);
+  append_family(out, "ecl_svc_staleness_edges", "gauge", h.staleness_edges);
+  append_family(out, "ecl_svc_ingest_lag_batches", "gauge", h.ingest_lag_batches);
+  append_family(out, "ecl_svc_num_components", "gauge", st.num_components);
+  append_family(out, "ecl_wal_enabled", "gauge", h.wal_enabled ? 1 : 0);
+  append_family(out, "ecl_wal_healthy", "gauge", h.wal_healthy ? 1 : 0);
+  append_family(out, "ecl_wal_records_total", "counter", h.wal_records);
+  append_family(out, "ecl_wal_replayed_edges", "gauge", h.replayed_edges);
+  append_family(out, "ecl_wal_segments", "gauge", st.wal_segments);
+  append_family(out, "ecl_wal_bytes", "gauge", st.wal_bytes);
+  append_family(out, "ecl_ckpt_enabled", "gauge", h.checkpoint_enabled ? 1 : 0);
+  append_family(out, "ecl_ckpt_written_total", "counter", h.checkpoints_written);
+  append_family(out, "ecl_ckpt_last_epoch", "gauge", h.last_checkpoint_epoch);
+  append_family(out, "ecl_ckpt_age_ms", "gauge", h.last_checkpoint_age_ms);
 }
 
 }  // namespace
@@ -106,11 +176,29 @@ int main(int argc, char** argv) {
   const std::string report_file = args.get("report", "");
   const std::string trace_file = args.get("trace", "");
   const bool print_metrics = args.has("metrics");
+  const bool exporter_enabled = args.has("metrics-port");
+  obs::ExporterOptions eopts;
+  eopts.host = args.get("metrics-host", "127.0.0.1");
+  eopts.port = static_cast<int>(args.get_int("metrics-port", 0));
+  const std::string slow_log_file = args.get("slow-log", "");
+  const auto slow_threshold_us =
+      static_cast<std::uint64_t>(args.get_int("slow-threshold-us", 10000));
   for (const auto& flag : args.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", flag.c_str());
   }
 
   if (!trace_file.empty()) obs::Tracer::instance().start(trace_file);
+
+  obs::RequestLog slow_log;
+  if (!slow_log_file.empty()) {
+    if (!slow_log.open(slow_log_file, slow_threshold_us)) {
+      std::fprintf(stderr, "error: cannot open --slow-log=%s\n", slow_log_file.c_str());
+      return 1;
+    }
+    nopts.slow_log = &slow_log;
+    std::printf("slow-request log %s (threshold %llu us)\n", slow_log_file.c_str(),
+                static_cast<unsigned long long>(slow_threshold_us));
+  }
 
   std::unique_ptr<svc::ConnectivityService> service;
   try {
@@ -155,10 +243,28 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
+  obs::MetricsExporter exporter(eopts);
+  if (exporter_enabled) {
+    exporter.add_collector([&service, &server](std::string& out) {
+      collect_service_families(*service, server, out);
+    });
+    std::string eerr;
+    if (!exporter.start(&eerr)) {
+      std::fprintf(stderr, "error: cannot start metrics exporter: %s\n", eerr.c_str());
+      server.stop();
+      service->stop();
+      return 1;
+    }
+  }
+
   if (!nopts.unix_path.empty()) {
     std::printf("listening on unix socket %s\n", nopts.unix_path.c_str());
   } else {
     std::printf("listening on %s:%d\n", nopts.host.c_str(), server.port());
+  }
+  if (exporter_enabled) {
+    std::printf("metrics on http://%s:%d/metrics\n", eopts.host.c_str(),
+                exporter.port());
   }
   std::fflush(stdout);
   if (!ready_file.empty()) {
@@ -168,11 +274,14 @@ int main(int argc, char** argv) {
     } else {
       ready << "tcp " << nopts.host << " " << server.port() << "\n";
     }
+    if (exporter_enabled) ready << "metrics " << exporter.port() << "\n";
   }
 
   server.wait();          // until signal or kShutdown request
   server.stop();
+  exporter.stop();
   service->stop();        // drain in-flight batches + final compaction
+  slow_log.close();
 
   const auto stats = service->stats();
   if (service->degraded()) {
@@ -186,6 +295,15 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.applied_edges),
       static_cast<unsigned long long>(stats.shed_batches),
       stats.num_components);
+  if (!slow_log_file.empty()) {
+    std::printf("slow-request log: %llu lines in %s\n",
+                static_cast<unsigned long long>(slow_log.lines()),
+                slow_log_file.c_str());
+  }
+  if (exporter_enabled) {
+    std::printf("metrics exporter: %llu scrapes\n",
+                static_cast<unsigned long long>(exporter.scrapes()));
+  }
 
   if (!report_file.empty()) {
     obs::run_report().set_bench_name("ecl_ccd");
