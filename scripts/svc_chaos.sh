@@ -313,6 +313,68 @@ run_scenario corrupt-newest \
   --wal="$WORK/corrupt-newest/edges.wal" \
   --checkpoint="$WORK/corrupt-newest/ckpt" --checkpoint-interval-ms=150
 
+# SIGKILL under a C10K flood: the daemon dies holding thousands of open
+# pipelined connections (every one of them left half-open, mid-request),
+# restarts on the same WAL, and must still satisfy acked => durable for
+# every batch acknowledged before the kill.
+echo "==== scenario: c10k-halfopen"
+SOFT=$(ulimit -Sn)
+HARD=$(ulimit -Hn)
+WANT=4096
+if [[ "$HARD" != "unlimited" && "$HARD" -lt "$WANT" ]]; then WANT=$HARD; fi
+if (( SOFT < WANT )); then ulimit -n "$WANT" || true; fi
+LIMIT=$(ulimit -Sn)
+HCONNS=1500
+if (( LIMIT < 1800 )); then HCONNS=$(( LIMIT - 300 )); fi
+HDIR="$WORK/c10k-halfopen"
+mkdir -p "$HDIR"
+echo "== starting ecl_ccd (fd limit $LIMIT, $HCONNS connections)"
+"$CCD" --vertices=20000 --unix="$HDIR/ccd.sock" --wal="$HDIR/edges.wal" \
+       --wal-fsync=batch --backlog=1024 --io-threads=4 \
+       --ready-file="$HDIR/ready1" --metrics-port=0 >"$HDIR/ccd1.log" 2>&1 &
+CCD_PID=$!
+wait_ready "$HDIR/ready1" "$CCD_PID" "$HDIR/ccd1.log"
+
+echo "== c10k load (background, long phase so the kill lands mid-flood)"
+"$LOADGEN" --unix="$HDIR/ccd.sock" --connections="$HCONNS" --pipeline=4 \
+           --io-threads=4 --duration-ms=8000 --ingest-frac=0.4 --batch=8 \
+           --seed=13 --acked-file="$HDIR/acked.txt" >"$HDIR/loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+
+sleep 3
+echo "== SIGKILL with $HCONNS connections open"
+kill -9 "$CCD_PID"
+wait "$CCD_PID" 2>/dev/null || true
+CCD_PID=
+
+echo "== restarting on the same WAL"
+"$CCD" --vertices=20000 --unix="$HDIR/ccd.sock" --wal="$HDIR/edges.wal" \
+       --wal-fsync=batch --backlog=1024 --io-threads=4 \
+       --ready-file="$HDIR/ready2" --metrics-port=0 >"$HDIR/ccd2.log" 2>&1 &
+CCD_PID=$!
+wait_ready "$HDIR/ready2" "$CCD_PID" "$HDIR/ccd2.log"
+grep -q "^wal .*replayed" "$HDIR/ccd2.log" || {
+  echo "restart did not report WAL replay:"; cat "$HDIR/ccd2.log"; exit 1; }
+
+echo "== waiting for the load generator (its dead sockets self-close)"
+loadgen_exit=0
+wait "$LOADGEN_PID" || loadgen_exit=$?
+LOADGEN_PID=
+[[ "$loadgen_exit" -eq 0 ]] || {
+  echo "loadgen exit code $loadgen_exit:"; cat "$HDIR/loadgen.log"; exit 1; }
+grep -E "c10k\[" "$HDIR/loadgen.log" || true
+[[ -s "$HDIR/acked.txt" ]] || { echo "no acked batches recorded"; exit 1; }
+
+echo "== verifying every acked edge against the revived daemon"
+python3 "$VERIFY" "$HDIR/ccd.sock" "$HDIR/acked.txt" replay
+
+"$CLIENT" --unix="$HDIR/ccd.sock" shutdown
+ccd_exit=0
+wait "$CCD_PID" || ccd_exit=$?
+CCD_PID=
+[[ "$ccd_exit" -eq 0 ]] || { echo "daemon exit code $ccd_exit"; cat "$HDIR/ccd2.log"; exit 1; }
+echo "==== scenario c10k-halfopen: OK"
+
 # Degraded-mode observability: a WAL append failure drops the service to
 # read-only; the metrics endpoint is the alerting path and must keep serving
 # a valid exposition with ecl_svc_degraded 1.

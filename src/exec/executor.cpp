@@ -1,0 +1,178 @@
+#include "exec/executor.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
+namespace ecl::exec {
+
+namespace {
+
+std::vector<std::uint64_t> latency_bounds() {
+  return obs::Histogram::pow2_bounds(22);
+}
+
+}  // namespace
+
+Executor::Executor(ExecutorOptions opts) : opts_(opts) {
+  const int n = opts_.num_workers > 0 ? opts_.num_workers : 1;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() { drain(); }
+
+bool Executor::submit(Task fn) {
+  if (ECL_FAULT_POINT("exec.submit").fired()) {
+    ECL_OBS_COUNTER_ADD("ecl.exec.tasks.rejected", 1);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      ECL_OBS_COUNTER_ADD("ecl.exec.tasks.rejected", 1);
+      return false;
+    }
+    ready_.push_back(Ready{std::move(fn), Clock::now()});
+    ECL_OBS_GAUGE_SET("ecl.exec.queue.depth", static_cast<double>(ready_.size()));
+  }
+  ECL_OBS_COUNTER_ADD("ecl.exec.tasks.submitted", 1);
+  cv_.notify_one();
+  return true;
+}
+
+bool Executor::submit_after(int delay_ms, Task fn) {
+  if (ECL_FAULT_POINT("exec.submit").fired()) {
+    ECL_OBS_COUNTER_ADD("ecl.exec.tasks.rejected", 1);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      ECL_OBS_COUNTER_ADD("ecl.exec.tasks.rejected", 1);
+      return false;
+    }
+    const std::uint64_t id = next_timer_id_++;
+    timed_.emplace(id, Timed{std::move(fn), 0});
+    heap_.push(HeapEntry{Clock::now() + std::chrono::milliseconds(delay_ms), id});
+  }
+  ECL_OBS_COUNTER_ADD("ecl.exec.tasks.submitted", 1);
+  cv_.notify_one();
+  return true;
+}
+
+std::uint64_t Executor::submit_periodic(int period_ms, Task fn) {
+  const int period = period_ms > 0 ? period_ms : 1;
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return 0;
+    id = next_timer_id_++;
+    timed_.emplace(id, Timed{std::move(fn), period});
+    heap_.push(HeapEntry{Clock::now() + std::chrono::milliseconds(period), id});
+  }
+  cv_.notify_one();
+  return id;
+}
+
+bool Executor::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The heap entry (if any) goes stale and is skipped on promotion.
+  return timed_.erase(id) > 0;
+}
+
+void Executor::promote_due(Clock::time_point now) {
+  while (!heap_.empty() && heap_.top().due <= now) {
+    const HeapEntry e = heap_.top();
+    heap_.pop();
+    auto it = timed_.find(e.id);
+    if (it == timed_.end()) continue;  // canceled (or already consumed)
+    if (it->second.period_ms > 0) {
+      ready_.push_back(Ready{it->second.fn, now});  // copy: it fires again
+      heap_.push(HeapEntry{e.due + std::chrono::milliseconds(it->second.period_ms), e.id});
+    } else {
+      ready_.push_back(Ready{std::move(it->second.fn), now});
+      timed_.erase(it);
+    }
+  }
+}
+
+void Executor::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    promote_due(Clock::now());
+    if (!ready_.empty()) {
+      Ready task = std::move(ready_.front());
+      ready_.pop_front();
+      ECL_OBS_GAUGE_SET("ecl.exec.queue.depth", static_cast<double>(ready_.size()));
+      lock.unlock();
+      const auto start = Clock::now();
+      ECL_OBS_HISTOGRAM_RECORD(
+          "ecl.exec.task_wait_us", latency_bounds(),
+          static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                         start - task.enqueued)
+                                         .count()));
+      try {
+        if (ECL_FAULT_POINT("exec.task").fired()) {
+          throw std::runtime_error("injected fault: exec.task");
+        }
+        task.fn();
+        tasks_run_.fetch_add(1, std::memory_order_relaxed);
+        ECL_OBS_COUNTER_ADD("ecl.exec.tasks.completed", 1);
+      } catch (...) {
+        // A task failure must never take a shared worker down.
+        task_errors_.fetch_add(1, std::memory_order_relaxed);
+        ECL_OBS_COUNTER_ADD("ecl.exec.tasks.errors", 1);
+      }
+      ECL_OBS_HISTOGRAM_RECORD(
+          "ecl.exec.task_run_us", latency_bounds(),
+          static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                         Clock::now() - start)
+                                         .count()));
+      lock.lock();
+      continue;
+    }
+    if (draining_) return;  // drain(): ready queue empty, nothing else to do
+    if (heap_.empty()) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, heap_.top().due);
+    }
+  }
+}
+
+void Executor::drain() {
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    // Pending timers are dropped: a drain means "finish what is ready".
+    timed_.clear();
+    heap_ = {};
+  }
+  cv_.notify_all();
+  if (joined_) return;
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  joined_ = true;
+}
+
+std::size_t Executor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_.size();
+}
+
+std::uint64_t Executor::tasks_run() const {
+  return tasks_run_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Executor::task_errors() const {
+  return task_errors_.load(std::memory_order_relaxed);
+}
+
+}  // namespace ecl::exec

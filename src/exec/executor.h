@@ -1,0 +1,123 @@
+// ecl::exec::Executor — a fixed worker pool with deferred and periodic
+// tasks, the daemon's one owned thread inventory (docs/EXECUTOR.md).
+//
+// The service layer used to spawn a bespoke std::thread per background
+// concern (ingest apply, compaction/checkpointing); the executor replaces
+// that with named, observable workers:
+//
+//   * submit(fn)                run as soon as a worker is free
+//   * submit_after(ms, fn)      run once after a delay
+//   * submit_periodic(ms, fn)   run every period until cancel(id)
+//   * drain()                   stop admitting, run everything already
+//                               queued (pending timers are dropped), join
+//
+// Long-running tasks are allowed — the service parks its ingest and
+// compaction loops on two workers for their whole lifetime — so size
+// num_workers for the number of *concurrent* long tasks plus headroom.
+//
+// Observability: queue depth gauge (ecl.exec.queue.depth), submit->start
+// wait and run-time histograms, submitted/completed/rejected/error
+// counters. A task that throws is caught and counted
+// (ecl.exec.tasks.errors); it never takes the worker down. Fault points:
+// "exec.submit" (admission rejected) and "exec.task" (task body fails).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace ecl::exec {
+
+struct ExecutorOptions {
+  /// Worker threads; each runs one task at a time.
+  int num_workers = 2;
+};
+
+class Executor {
+ public:
+  using Task = std::function<void()>;
+
+  explicit Executor(ExecutorOptions opts = {});
+  /// drain()s.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues a task. False once drain() has begun (or the exec.submit
+  /// fault point sheds it) — the task will then never run.
+  [[nodiscard]] bool submit(Task fn);
+
+  /// Enqueues a task to become runnable after `delay_ms`. Same admission
+  /// rules as submit(); pending deferred tasks are dropped by drain().
+  [[nodiscard]] bool submit_after(int delay_ms, Task fn);
+
+  /// Schedules `fn` every `period_ms` (first run one period from now).
+  /// Returns a nonzero id for cancel(), or 0 when draining. Periods are
+  /// fixed-rate from the scheduled (not actual) run times.
+  [[nodiscard]] std::uint64_t submit_periodic(int period_ms, Task fn);
+
+  /// Stops future firings of a periodic task. True if the id was live. An
+  /// in-flight run completes; no new run starts after cancel() returns
+  /// unless one was already promoted to the ready queue.
+  bool cancel(std::uint64_t id);
+
+  /// Stops admission, runs every already-ready task, drops pending
+  /// deferred/periodic work, and joins the workers. Idempotent.
+  void drain();
+
+  /// Ready (promoted, not yet started) tasks.
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Tasks whose body ran to completion.
+  [[nodiscard]] std::uint64_t tasks_run() const;
+  /// Tasks whose body threw (caught and swallowed by the worker).
+  [[nodiscard]] std::uint64_t task_errors() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Ready {
+    Task fn;
+    Clock::time_point enqueued;
+  };
+  struct Timed {
+    Task fn;
+    int period_ms = 0;  // 0: one-shot
+  };
+  struct HeapEntry {
+    Clock::time_point due;
+    std::uint64_t id = 0;
+    bool operator>(const HeapEntry& o) const { return due > o.due; }
+  };
+
+  void worker_loop();
+  /// Moves due timed tasks onto the ready queue. Caller holds mu_.
+  void promote_due(Clock::time_point now);
+
+  const ExecutorOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Ready> ready_;
+  std::unordered_map<std::uint64_t, Timed> timed_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
+  std::uint64_t next_timer_id_ = 1;
+  bool draining_ = false;
+  bool joined_ = false;
+
+  std::vector<std::thread> workers_;
+  std::mutex drain_mu_;  // serializes drain() callers around the joins
+
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> task_errors_{0};
+};
+
+}  // namespace ecl::exec

@@ -1,0 +1,146 @@
+// Hashed timing wheel for connection deadlines (idle, mid-frame, write
+// stall). The event loop owns thousands of sockets whose deadlines move on
+// every byte of traffic; a sorted structure would pay O(log n) per update.
+// The wheel instead makes re-arming O(1): arm() just stores the new absolute
+// deadline, and the entry is only re-filed lazily when the slot it was
+// parked in comes due. An entry whose deadline moved later is re-filed, not
+// expired, so the common case (active connection, deadline pushed out on
+// every wake) never touches the slot vectors at all.
+//
+// Deadlines are absolute milliseconds on the caller's clock (the event loop
+// uses milliseconds since loop start). Deadlines beyond the wheel horizon
+// (slots * tick_ms) alias onto a nearer slot and simply take one extra lazy
+// re-file per horizon — correctness only depends on the stored deadline.
+//
+// Not thread-safe: one wheel per event loop, touched only on its thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ecl::exec {
+
+class TimerWheel {
+ public:
+  /// Intrusive handle: embed one in each object with a deadline. The owner
+  /// pointer is handed back by advance() on expiry.
+  struct Timer {
+    void* owner = nullptr;
+    std::uint64_t deadline_ms = 0;  // absolute; 0 = disarmed
+   private:
+    friend class TimerWheel;
+    std::uint32_t slot = kNoSlot;  // where the entry is currently filed
+  };
+
+  explicit TimerWheel(std::uint32_t slots = 512, std::uint32_t tick_ms = 16)
+      : tick_ms_(tick_ms == 0 ? 1 : tick_ms), slots_(slots == 0 ? 1 : slots) {}
+
+  /// Sets the deadline and files the entry if it is not filed yet. A filed
+  /// entry just gets the new deadline (lazy re-file on slot expiry).
+  void arm(Timer* t, std::uint64_t deadline_ms) {
+    t->deadline_ms = deadline_ms == 0 ? 1 : deadline_ms;
+    if (t->slot == kNoSlot) file(t, t->deadline_ms);
+  }
+
+  /// Clears the deadline. The slot entry, if any, is dropped lazily unless
+  /// remove() is called (mandatory before the owner is destroyed).
+  void disarm(Timer* t) { t->deadline_ms = 0; }
+
+  /// Eagerly unlinks the entry; required before freeing the owning object.
+  void remove(Timer* t) {
+    t->deadline_ms = 0;
+    if (t->slot == kNoSlot) return;
+    auto& vec = slots_[t->slot];
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i] == t) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        break;
+      }
+    }
+    t->slot = kNoSlot;
+    --armed_;
+  }
+
+  /// Walks every slot between the previous advance and `now_ms`, expiring
+  /// entries whose stored deadline has passed (callback receives the owner)
+  /// and re-filing the rest. Disarmed entries are dropped here.
+  template <class F>
+  void advance(std::uint64_t now_ms, F&& on_expire) {
+    const std::uint64_t now_tick = now_ms / tick_ms_;
+    if (now_tick <= last_tick_) return;
+    // Cap the walk at one full revolution: beyond that every slot has
+    // already been visited once and deadlines are checked absolutely anyway.
+    std::uint64_t from = last_tick_ + 1;
+    if (now_tick - from >= slots_.size()) from = now_tick - slots_.size() + 1;
+    for (std::uint64_t tick = from; tick <= now_tick; ++tick) {
+      auto& vec = slots_[tick % slots_.size()];
+      std::size_t i = 0;
+      while (i < vec.size()) {
+        Timer* t = vec[i];
+        if (t->deadline_ms == 0) {  // disarmed: drop
+          vec[i] = vec.back();
+          vec.pop_back();
+          t->slot = kNoSlot;
+          --armed_;
+        } else if (t->deadline_ms <= now_ms) {  // due: unlink, then expire
+          vec[i] = vec.back();
+          vec.pop_back();
+          t->slot = kNoSlot;
+          --armed_;
+          on_expire(t->owner);
+        } else {  // deadline moved later: re-file at its current slot
+          const std::uint32_t want =
+              static_cast<std::uint32_t>((t->deadline_ms / tick_ms_) % slots_.size());
+          if (want != t->slot) {
+            vec[i] = vec.back();
+            vec.pop_back();
+            t->slot = want;
+            slots_[want].push_back(t);
+            // vec[i] is now an unvisited entry (or out of range): revisit i.
+          } else {
+            ++i;
+          }
+        }
+      }
+    }
+    last_tick_ = now_tick;
+  }
+
+  /// Milliseconds until the next non-empty slot comes due; -1 when nothing
+  /// is armed. A hint for epoll_wait timeouts: may fire early (lazily filed
+  /// entries re-file and the loop sleeps again), never pathologically late.
+  [[nodiscard]] int next_timeout_ms(std::uint64_t now_ms) const {
+    if (armed_ == 0) return -1;
+    const std::uint64_t now_tick = now_ms / tick_ms_;
+    for (std::uint64_t off = 0; off < slots_.size(); ++off) {
+      if (!slots_[(now_tick + off) % slots_.size()].empty()) {
+        // The whole slot is due at the *end* of its tick.
+        const std::uint64_t due = (now_tick + off + 1) * tick_ms_;
+        return due <= now_ms ? 0 : static_cast<int>(due - now_ms);
+      }
+    }
+    return static_cast<int>(slots_.size() * tick_ms_);
+  }
+
+  [[nodiscard]] std::size_t armed() const { return armed_; }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+  void file(Timer* t, std::uint64_t deadline_ms) {
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>((deadline_ms / tick_ms_) % slots_.size());
+    t->slot = slot;
+    slots_[slot].push_back(t);
+    ++armed_;
+  }
+
+  std::uint64_t tick_ms_;
+  std::vector<std::vector<Timer*>> slots_{};
+  std::uint64_t last_tick_ = 0;
+  std::size_t armed_ = 0;
+};
+
+}  // namespace ecl::exec

@@ -100,6 +100,13 @@ void encode_stats_body(const ServiceStats& st, std::vector<std::uint8_t>& out) {
       {StatsField::kUptimeMs, st.uptime_ms},
       {StatsField::kReplayedEdges, st.replayed_edges},
       {StatsField::kRequestsServed, st.requests_served},
+      {StatsField::kOpenConnections, st.open_connections},
+      {StatsField::kEpollWakeups, st.epoll_wakeups},
+      {StatsField::kWriteBufHwmBytes, st.write_buf_hwm_bytes},
+      {StatsField::kEvictedIdle, st.evicted_idle},
+      {StatsField::kEvictedSlow, st.evicted_slow},
+      {StatsField::kEvictedBackpressure, st.evicted_backpressure},
+      {StatsField::kAcceptShedFds, st.accept_shed_fds},
   };
   put_u8(out, kStatsTaggedFormat);
   put_u16(out, static_cast<std::uint16_t>(std::size(fields)));
@@ -141,6 +148,13 @@ bool decode_stats_body_tagged(Reader& r, ServiceStats& st) {
       case StatsField::kUptimeMs: st.uptime_ms = value; break;
       case StatsField::kReplayedEdges: st.replayed_edges = value; break;
       case StatsField::kRequestsServed: st.requests_served = value; break;
+      case StatsField::kOpenConnections: st.open_connections = value; break;
+      case StatsField::kEpollWakeups: st.epoll_wakeups = value; break;
+      case StatsField::kWriteBufHwmBytes: st.write_buf_hwm_bytes = value; break;
+      case StatsField::kEvictedIdle: st.evicted_idle = value; break;
+      case StatsField::kEvictedSlow: st.evicted_slow = value; break;
+      case StatsField::kEvictedBackpressure: st.evicted_backpressure = value; break;
+      case StatsField::kAcceptShedFds: st.accept_shed_fds = value; break;
       default:
         break;  // a newer server's field: skip, never fail
     }

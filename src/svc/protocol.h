@@ -112,6 +112,14 @@ enum class StatsField : std::uint16_t {
   kUptimeMs = 15,
   kReplayedEdges = 16,
   kRequestsServed = 17,
+  // Connection telemetry (the executor/event-loop PR).
+  kOpenConnections = 18,
+  kEpollWakeups = 19,
+  kWriteBufHwmBytes = 20,
+  kEvictedIdle = 21,
+  kEvictedSlow = 22,
+  kEvictedBackpressure = 23,
+  kAcceptShedFds = 24,
 };
 
 /// Marker byte opening a tagged kStats body (the legacy fixed body is

@@ -1,6 +1,8 @@
 #include "svc/server.h"
 
-#include <poll.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -50,6 +52,11 @@ void record_op_latency(MsgType type, std::uint64_t us) {
   }
 }
 
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
 
 Server::Server(ConnectivityService& service, ServerOptions opts)
@@ -59,194 +66,193 @@ Server::~Server() { stop(); }
 
 bool Server::start(std::string* err) {
   if (started_.load()) return true;
-  if (::pipe(wake_pipe_) != 0) {
-    if (err != nullptr) *err = "pipe failed";
-    return false;
-  }
   if (!opts_.unix_path.empty()) {
     listen_fd_ = net::listen_unix(opts_.unix_path, opts_.backlog, err);
   } else {
     listen_fd_ = net::listen_tcp(opts_.host, opts_.port, opts_.backlog, &bound_port_, err);
   }
-  if (listen_fd_ < 0) {
-    ::close(wake_pipe_[0]);
-    ::close(wake_pipe_[1]);
-    wake_pipe_[0] = wake_pipe_[1] = -1;
+  if (listen_fd_ < 0) return false;
+  set_nonblocking(listen_fd_);
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+
+  pool_ = std::make_unique<exec::EventLoopPool>(opts_.io_threads);
+  // Registered before start(): the listener lives on loop 0.
+  if (!pool_->at(0).watch(listen_fd_, [this](std::uint32_t) { on_accept_ready(); })) {
+    if (err != nullptr) *err = "epoll registration of the listener failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    pool_.reset();
+    return false;
+  }
+  if (!pool_->start(err)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    pool_.reset();
     return false;
   }
   started_.store(true);
-  accept_thread_ = std::thread([this] { accept_loop(); });
   return true;
 }
 
 void Server::request_shutdown() {
   shutdown_requested_.store(true, std::memory_order_release);
-  if (wake_pipe_[1] >= 0) {
-    const char byte = 'x';
-    // Best effort; the accept loop also polls the flag.
-    (void)!::write(wake_pipe_[1], &byte, 1);
-  }
-}
-
-void Server::reap_finished() {
-  // Splice finished handlers out under the lock, join outside it: a handler's
-  // last act before setting done is to take conns_mu_ and close its fd, so
-  // joining while holding the lock could deadlock against it.
-  std::list<Connection> finished;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      const auto next = std::next(it);
-      if (it->done.load(std::memory_order_acquire)) {
-        finished.splice(finished.end(), conns_, it);
-      }
-      it = next;
-    }
-  }
-  for (Connection& c : finished) {
-    if (c.thread.joinable()) c.thread.join();
-  }
+  // Async-signal-safe: an atomic store plus one eventfd write per loop.
+  if (pool_) pool_->request_stop();
 }
 
 std::size_t Server::active_connections() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  return conns_.size();
+  if (!pool_) return 0;
+  return static_cast<std::size_t>(
+      pool_->counters().open_conns.load(std::memory_order_relaxed));
 }
 
-void Server::accept_loop() {
-  while (!shutdown_requested_.load(std::memory_order_acquire)) {
-    reap_finished();
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-    const int ready = ::poll(fds, 2, 200);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) continue;
-    if ((fds[1].revents & POLLIN) != 0) break;  // shutdown wake-up
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (client_fd < 0) continue;
-    // Backstop deadline on responses: a peer that stops draining its socket
-    // stalls the handler in send() for at most send_timeout_ms.
-    net::set_io_timeouts(client_fd, 0, opts_.send_timeout_ms);
-    ECL_OBS_COUNTER_ADD("ecl.svc.server.connections", 1);
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.emplace_back();
-    Connection* conn = &conns_.back();
-    conn->fd = client_fd;
-    conn->thread = std::thread([this, conn] { handle_connection(conn); });
-  }
-
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
-
-  // Half-close every live connection so blocked readers see EOF, then join.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (Connection& c : conns_) {
-      if (c.fd >= 0) ::shutdown(c.fd, SHUT_RDWR);
-    }
-  }
-  for (Connection& c : conns_) {
-    if (c.thread.joinable()) c.thread.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (Connection& c : conns_) {
-      if (c.fd >= 0) ::close(c.fd);
-      c.fd = -1;
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(done_mu_);
-    done_ = true;
-  }
-  done_cv_.notify_all();
+ServerConnStats Server::conn_stats() const {
+  ServerConnStats s;
+  s.accept_shed_fds = accept_shed_.load(std::memory_order_relaxed);
+  if (!pool_) return s;
+  const auto& c = pool_->counters();
+  s.open_connections = c.open_conns.load(std::memory_order_relaxed);
+  s.epoll_wakeups = c.wakeups.load(std::memory_order_relaxed);
+  s.write_buf_hwm_bytes = c.write_buf_hwm.load(std::memory_order_relaxed);
+  s.evicted_idle = c.evicted_idle.load(std::memory_order_relaxed);
+  s.evicted_slow = c.evicted_frame.load(std::memory_order_relaxed);
+  s.evicted_backpressure = c.evicted_stall.load(std::memory_order_relaxed) +
+                           c.evicted_overflow.load(std::memory_order_relaxed);
+  return s;
 }
 
-void Server::handle_connection(Connection* conn) {
-  const int fd = conn->fd;
-  std::vector<std::uint8_t> payload;
-  std::vector<std::uint8_t> reply;
-  Request req;
+void Server::on_accept_ready() {
   for (;;) {
-    const net::IoStatus rst = net::read_frame_deadline(
-        fd, payload, opts_.idle_timeout_ms, opts_.frame_timeout_ms);
-    if (rst == net::IoStatus::kTimeout) {
-      // The frame started but stalled: the peer is stuck (or hostile) and
-      // would otherwise pin this handler thread. Evict it.
-      ECL_OBS_COUNTER_ADD("ecl.svc.server.evicted_slow", 1);
-      break;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+        // FD exhaustion: shed the pending connection cleanly (briefly give
+        // back the spare fd so accept() can succeed, then close the peer)
+        // and pause the listener instead of spinning on a ready backlog.
+        accept_shed_.fetch_add(1, std::memory_order_relaxed);
+        ECL_OBS_COUNTER_ADD("ecl.svc.accept.shed_fds", 1);
+        if (spare_fd_ >= 0) {
+          ::close(spare_fd_);
+          spare_fd_ = -1;
+          const int shed = ::accept(listen_fd_, nullptr, nullptr);
+          if (shed >= 0) ::close(shed);
+          spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        }
+        auto& loop0 = pool_->at(0);
+        loop0.unwatch(listen_fd_);
+        loop0.post_after(opts_.accept_backoff_ms, [this] { rearm_accept(); });
+        return;
+      }
+      continue;  // ECONNABORTED and friends: transient, try the next one
     }
-    if (rst == net::IoStatus::kIdle) {
+    // Consistent client-socket tuning: TCP_NODELAY (no-op on Unix sockets)
+    // mirrors net.cpp's connect-side setting, and an optional small SO_SNDBUF
+    // lets tests drive the backpressure ladder with little data.
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (opts_.sndbuf_bytes > 0) {
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.sndbuf_bytes,
+                         sizeof(opts_.sndbuf_bytes));
+    }
+    ECL_OBS_COUNTER_ADD("ecl.svc.server.connections", 1);
+    exec::EventLoop& loop = pool_->next();
+    loop.post([this, &loop, fd] { adopt_connection(loop, fd); });
+  }
+}
+
+void Server::rearm_accept() {
+  if (shutdown_requested_.load(std::memory_order_acquire) || listen_fd_ < 0) return;
+  (void)pool_->at(0).watch(listen_fd_, [this](std::uint32_t) { on_accept_ready(); });
+}
+
+void Server::adopt_connection(exec::EventLoop& loop, int fd) {
+  exec::ConnCallbacks cbs;
+  cbs.on_frame = [this](exec::Conn& c, std::span<const std::uint8_t> p) { on_frame(c, p); };
+  cbs.on_close = [this](exec::Conn& c, exec::CloseReason r) { on_close(c, r); };
+  exec::ConnOptions copts;
+  copts.max_frame_bytes = kMaxFrameBytes;
+  copts.write_buffer_limit = opts_.write_buffer_limit;
+  copts.write_buffer_pause = opts_.write_buffer_pause;
+  copts.idle_timeout_ms = opts_.idle_timeout_ms;
+  copts.frame_timeout_ms = opts_.frame_timeout_ms;
+  copts.write_stall_timeout_ms = opts_.send_timeout_ms;
+  (void)loop.adopt(fd, std::move(cbs), copts);
+}
+
+void Server::on_close(exec::Conn&, exec::CloseReason reason) {
+  switch (reason) {
+    case exec::CloseReason::kIdleTimeout:
       ECL_OBS_COUNTER_ADD("ecl.svc.server.evicted_idle", 1);
       break;
+    case exec::CloseReason::kFrameTimeout:
+      ECL_OBS_COUNTER_ADD("ecl.svc.server.evicted_slow", 1);
+      break;
+    case exec::CloseReason::kWriteStall:
+    case exec::CloseReason::kWriteOverflow:
+      ECL_OBS_COUNTER_ADD("ecl.svc.server.evicted_backpressure", 1);
+      break;
+    default:
+      break;
+  }
+}
+
+void Server::on_frame(exec::Conn& conn, std::span<const std::uint8_t> payload) {
+  const double start_us = obs::Tracer::now_us();
+  Timer total;
+  Timer phase;
+  Request req;
+  Response resp;
+  bool decoded = false;
+  std::uint64_t decode_us = 0;
+  std::uint64_t execute_us = 0;
+  std::uint64_t encode_us = 0;
+  std::uint64_t write_us = 0;
+  // Reused across requests on this I/O thread (on_frame never nests).
+  thread_local std::vector<std::uint8_t> reply;
+  try {
+    decoded = decode_request(payload, req);
+    decode_us = static_cast<std::uint64_t>(phase.micros());
+    if (decoded) {
+      phase.reset();
+      resp = dispatch(req);
+      execute_us = static_cast<std::uint64_t>(phase.micros());
     }
-    if (rst != net::IoStatus::kOk) break;  // kEof (clean close) or kError
-    const double start_us = obs::Tracer::now_us();
-    Timer total;
-    Timer phase;
-    Response resp;
-    bool decoded = false;
-    std::uint64_t decode_us = 0;
-    std::uint64_t execute_us = 0;
-    std::uint64_t encode_us = 0;
-    std::uint64_t write_us = 0;
-    try {
-      decoded = decode_request(payload, req);
-      decode_us = static_cast<std::uint64_t>(phase.micros());
-      if (decoded) {
-        phase.reset();
-        resp = dispatch(req);
-        execute_us = static_cast<std::uint64_t>(phase.micros());
-      }
-    } catch (...) {
-      // One bad request (e.g. an allocation failure while decoding) must
-      // never escape the handler thread and terminate the daemon.
-      ECL_OBS_COUNTER_ADD("ecl.svc.server.handler_errors", 1);
-      break;  // drop the connection
-    }
-    if (!decoded) {
-      resp.status = Status::kInvalid;
-      ECL_OBS_COUNTER_ADD("ecl.svc.server.malformed", 1);
-      reply.clear();
-      encode_response(resp, reply);
-      (void)net::write_frame(fd, reply);
-      break;  // framing is untrustworthy now; drop the connection
-    }
+  } catch (...) {
+    // One bad request (e.g. an allocation failure while decoding) must
+    // never take the I/O thread or the daemon down.
+    ECL_OBS_COUNTER_ADD("ecl.svc.server.handler_errors", 1);
+    conn.close(exec::CloseReason::kProtocolError);
+    return;
+  }
+  if (!decoded) {
+    resp.status = Status::kInvalid;
+    ECL_OBS_COUNTER_ADD("ecl.svc.server.malformed", 1);
     reply.clear();
-    phase.reset();
     encode_response(resp, reply);
-    encode_us = static_cast<std::uint64_t>(phase.micros());
-    phase.reset();
-    const net::IoStatus wst = net::write_frame_io(fd, reply);
-    write_us = static_cast<std::uint64_t>(phase.micros());
-    if (wst != net::IoStatus::kOk) {
-      if (wst == net::IoStatus::kTimeout) {
-        ECL_OBS_COUNTER_ADD("ecl.svc.server.evicted_slow", 1);
-      }
-      break;
-    }
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    const auto total_us = static_cast<std::uint64_t>(total.micros());
-    record_op_latency(req.type, total_us);
-    finish_request(req, resp, start_us, total_us, decode_us, execute_us, encode_us,
-                   write_us);
-    if (req.type == MsgType::kShutdown) {
-      request_shutdown();
-      break;
-    }
+    conn.send(reply.data(), reply.size());
+    conn.close(exec::CloseReason::kProtocolError);  // framing is untrustworthy now
+    return;
   }
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    ::close(conn->fd);
-    conn->fd = -1;
+  reply.clear();
+  phase.reset();
+  encode_response(resp, reply);  // appends the complete frame, prefix included
+  encode_us = static_cast<std::uint64_t>(phase.micros());
+  phase.reset();
+  conn.send(reply.data(), reply.size());
+  write_us = static_cast<std::uint64_t>(phase.micros());
+  if (conn.closing()) return;  // the send tripped the overflow eviction
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  const auto total_us = static_cast<std::uint64_t>(total.micros());
+  record_op_latency(req.type, total_us);
+  finish_request(req, resp, start_us, total_us, decode_us, execute_us, encode_us,
+                 write_us);
+  if (req.type == MsgType::kShutdown) {
+    // Close first (flushes the ack best-effort), then stop the loops.
+    conn.close(exec::CloseReason::kAppClose);
+    request_shutdown();
   }
-  // Last act: hand the Connection to the accept loop's reaper, which joins
-  // this thread and frees the node. Nothing may touch *conn after this.
-  conn->done.store(true, std::memory_order_release);
 }
 
 void Server::finish_request(const Request& req, const Response& resp, double start_us,
@@ -281,10 +287,10 @@ void Server::finish_request(const Request& req, const Response& resp, double sta
     rec.queue_depth = service_.queue_depth();
     rec.total_us = total_us;
     rec.decode_us = decode_us;
-    rec.queue_us = 0;  // no admission queue in the thread-per-connection server
+    rec.queue_us = 0;  // requests dispatch inline on the I/O thread
     rec.execute_us = execute_us;
     rec.encode_us = encode_us;
-    rec.write_us = write_us;
+    rec.write_us = write_us;  // buffer append; the loop flushes asynchronously
     if (opts_.slow_log->log(rec)) {
       ECL_OBS_COUNTER_ADD("ecl.svc.server.slow_requests", 1);
     }
@@ -330,10 +336,22 @@ Response Server::dispatch(const Request& req) {
     case MsgType::kComponentCount:
       resp.value = service_.component_count();
       break;
-    case MsgType::kStats:
+    case MsgType::kStats: {
       resp.stats = service_.stats();
       resp.stats.requests_served = requests_served();
+      const ServerConnStats cs = conn_stats();
+      resp.stats.open_connections = cs.open_connections;
+      resp.stats.epoll_wakeups = cs.epoll_wakeups;
+      resp.stats.write_buf_hwm_bytes = cs.write_buf_hwm_bytes;
+      resp.stats.evicted_idle = cs.evicted_idle;
+      resp.stats.evicted_slow = cs.evicted_slow;
+      resp.stats.evicted_backpressure = cs.evicted_backpressure;
+      resp.stats.accept_shed_fds = cs.accept_shed_fds;
+      ECL_OBS_GAUGE_SET("ecl.svc.conn.open", static_cast<double>(cs.open_connections));
+      ECL_OBS_GAUGE_SET("ecl.svc.conn.write_buf_hwm_bytes",
+                        static_cast<double>(cs.write_buf_hwm_bytes));
       break;
+    }
     case MsgType::kHealth:
       resp.health = service_.health();
       break;
@@ -343,18 +361,23 @@ Response Server::dispatch(const Request& req) {
 
 void Server::wait() {
   if (!started_.load()) return;
-  std::unique_lock<std::mutex> lock(done_mu_);
-  done_cv_.wait(lock, [&] { return done_; });
+  pool_->wait();
 }
 
 void Server::stop() {
-  if (!started_.load()) return;
+  if (!started_.load() || stopped_) return;
   request_shutdown();
-  wait();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
-  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
-  wake_pipe_[0] = wake_pipe_[1] = -1;
+  pool_->stop();
+  stopped_ = true;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+  if (spare_fd_ >= 0) {
+    ::close(spare_fd_);
+    spare_fd_ = -1;
+  }
 }
 
 }  // namespace ecl::svc

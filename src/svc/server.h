@@ -3,23 +3,35 @@
 // maps the service's admission verdicts onto response status bytes — a full
 // ingest queue becomes an explicit kShed response, never a stalled socket.
 //
-// Threading model: one accept thread plus one thread per connection (the
-// protocol is strictly request/response per connection, so per-connection
-// threads need no shared write locks). Shutdown is race-free via a
-// self-pipe: request_shutdown() only sets an atomic flag and writes one
-// byte, so it is safe from handler threads and signal handlers alike; the
-// accept loop notices, stops admitting, half-closes every live connection
-// to unblock its reader, joins all handlers, and then drains the service.
+// Threading model (docs/EXECUTOR.md): a small pool of ecl::exec event-loop
+// threads multiplexes every connection via level-triggered epoll, so the
+// connection count is bounded by file descriptors, not threads. Requests
+// are decoded and dispatched inline on the I/O thread (every service call
+// is non-blocking: bounded-queue admission or lock-free snapshot reads),
+// and a connection may pipeline many requests on the wire — responses come
+// back in request order. Slow or hostile peers are evicted by the loop's
+// timer wheel (idle / mid-frame deadlines) and by the per-connection write
+// buffer's backpressure ladder: above write_buffer_pause the server stops
+// reading from the peer; a peer that also stops draining its responses is
+// evicted after send_timeout_ms (write stall) or when the buffer would
+// exceed write_buffer_limit.
+//
+// Shutdown is race-free: request_shutdown() only sets an atomic flag and
+// writes one eventfd byte per loop, so it is safe from I/O threads and
+// signal handlers alike; each loop notices, closes its connections, and
+// exits. accept() is hardened against fd exhaustion: EMFILE/ENFILE sheds
+// the pending connection (counted in ecl.svc.accept.shed_fds) and pauses
+// the listener briefly instead of spinning hot.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
-#include <list>
-#include <mutex>
+#include <memory>
+#include <span>
 #include <string>
-#include <thread>
 
+#include "exec/event_loop.h"
 #include "svc/protocol.h"
 #include "svc/service.h"
 
@@ -39,18 +51,44 @@ struct ServerOptions {
   int backlog = 64;
   /// A client that starts a frame must deliver the rest within this bound,
   /// or it is evicted (counted in ecl.svc.server.evicted_slow) — one stuck
-  /// or malicious peer must never pin a handler thread forever. 0 disables.
+  /// or malicious peer must never pin an I/O thread's attention forever.
+  /// 0 disables.
   int frame_timeout_ms = 10000;
   /// Evict connections with no traffic at all for this long. 0 (default)
   /// lets idle-but-healthy clients stay connected indefinitely.
   int idle_timeout_ms = 0;
-  /// SO_SNDTIMEO for responses: a peer that stops draining its socket is
-  /// evicted once the send buffer stays full this long. 0 = OS default.
+  /// Write-stall eviction bound: a peer with buffered responses whose
+  /// socket accepts no bytes for this long is evicted (counted in
+  /// ecl.svc.server.evicted_backpressure). 0 disables.
   int send_timeout_ms = 10000;
+  /// Event-loop (I/O) threads multiplexing the connections.
+  int io_threads = 2;
+  /// Stop reading more requests from a connection while more than this
+  /// many unsent response bytes are buffered for it (resume at half).
+  std::size_t write_buffer_pause = 1u << 20;
+  /// Evict a connection whose buffered responses would exceed this.
+  std::size_t write_buffer_limit = 64u << 20;
+  /// Listener pause after shedding on EMFILE/ENFILE before retrying.
+  int accept_backoff_ms = 100;
+  /// Test hook: shrink SO_SNDBUF on accepted sockets (0 = OS default) so
+  /// write-buffer backpressure triggers with small payloads.
+  int sndbuf_bytes = 0;
   /// Slow-request sink (owned by the caller, must outlive the server). Every
   /// served request is offered with its per-phase latency breakdown; the log
   /// applies its own threshold. Null disables.
   obs::RequestLog* slow_log = nullptr;
+};
+
+/// Connection-level telemetry sample (also appended to kStats as tagged
+/// fields; see protocol.h StatsField tags >= 18).
+struct ServerConnStats {
+  std::uint64_t open_connections = 0;
+  std::uint64_t epoll_wakeups = 0;
+  std::uint64_t write_buf_hwm_bytes = 0;
+  std::uint64_t evicted_idle = 0;
+  std::uint64_t evicted_slow = 0;          // mid-frame deadline
+  std::uint64_t evicted_backpressure = 0;  // write stall + overflow
+  std::uint64_t accept_shed_fds = 0;
 };
 
 class Server {
@@ -64,18 +102,18 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the accept thread. False (with the reason
-  /// in *err) if the endpoint could not be created.
+  /// Binds, listens, and spawns the I/O loops. False (with the reason in
+  /// *err) if the endpoint could not be created.
   [[nodiscard]] bool start(std::string* err = nullptr);
 
   /// Bound TCP port (meaningful after start() on a TCP endpoint).
   [[nodiscard]] int port() const { return bound_port_; }
 
   /// Begins shutdown. Async-signal-safe: only an atomic store and one
-  /// write(2) on the self-pipe.
+  /// eventfd write(2) per I/O loop.
   void request_shutdown();
 
-  /// Blocks until the accept loop and every connection handler have exited.
+  /// Blocks until every I/O loop has exited (all connections closed).
   void wait();
 
   /// request_shutdown() + wait() + join. Idempotent.
@@ -86,22 +124,18 @@ class Server {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
-  /// Connections currently tracked (handlers not yet reaped). Finished
-  /// handlers are joined and dropped by the accept loop, so a long-running
-  /// daemon serving short-lived connections does not accumulate threads.
+  /// Connections currently owned by the I/O loops.
   [[nodiscard]] std::size_t active_connections() const;
 
- private:
-  struct Connection {
-    int fd = -1;        // -1 once the handler has finished with it
-    std::thread thread;
-    std::atomic<bool> done{false};  // handler exited; safe to join + erase
-  };
+  /// Point-in-time connection telemetry (the kStats tagged fields).
+  [[nodiscard]] ServerConnStats conn_stats() const;
 
-  void accept_loop();
-  void handle_connection(Connection* conn);
-  /// Joins and discards every connection whose handler has finished.
-  void reap_finished();
+ private:
+  void on_accept_ready();
+  void rearm_accept();
+  void adopt_connection(exec::EventLoop& loop, int fd);
+  void on_frame(exec::Conn& conn, std::span<const std::uint8_t> payload);
+  void on_close(exec::Conn& conn, exec::CloseReason reason);
   Response dispatch(const Request& req);
   /// Post-write bookkeeping for one served request: the per-request trace
   /// event (when the tracer is on) and the slow-request log offer.
@@ -115,19 +149,14 @@ class Server {
 
   int listen_fd_ = -1;
   int bound_port_ = 0;
-  int wake_pipe_[2] = {-1, -1};
-  std::thread accept_thread_;
+  int spare_fd_ = -1;  // sacrificial fd slot for shedding under EMFILE
+  std::unique_ptr<exec::EventLoopPool> pool_;
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> started_{false};
-
-  mutable std::mutex conns_mu_;
-  std::list<Connection> conns_;
-
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  bool done_ = false;
+  bool stopped_ = false;
 
   std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> accept_shed_{0};
 };
 
 }  // namespace ecl::svc

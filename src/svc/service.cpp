@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/timer.h"
@@ -176,8 +177,38 @@ void ConnectivityService::enter_degraded(const char* reason) {
 ConnectivityService::~ConnectivityService() { stop(); }
 
 void ConnectivityService::start_threads() {
-  ingest_thread_ = std::thread([this] { ingest_loop(); });
-  compact_thread_ = std::thread([this] { compact_loop(); });
+  // Two long-lived tasks park on the executor's two workers for the
+  // service's whole lifetime. The done flags stand in for thread joins:
+  // stop() waits on them (under progress_mu_) instead of calling join(),
+  // and only then drains the executor.
+  const bool ingest_ok = exec_.submit([this] {
+    ingest_loop();
+    {
+      std::lock_guard<std::mutex> lock(progress_mu_);
+      ingest_done_ = true;
+    }
+    progress_cv_.notify_all();
+    compact_cv_.notify_all();
+  });
+  const bool compact_ok = exec_.submit([this] {
+    try {
+      compact_loop();
+    } catch (const std::exception& e) {
+      // A compaction failure (e.g. allocation) must not strand stop()
+      // waiters or crash the process; degrade and keep serving reads.
+      std::fprintf(stderr, "[ecl::svc] compaction worker died: %s\n", e.what());
+      enter_degraded("compaction worker died");
+    }
+    {
+      std::lock_guard<std::mutex> lock(progress_mu_);
+      compact_done_ = true;
+    }
+    progress_cv_.notify_all();
+    compact_cv_.notify_all();
+  });
+  if (!ingest_ok || !compact_ok) {
+    throw std::runtime_error("ecl::svc executor rejected a background loop");
+  }
 }
 
 Admission ConnectivityService::submit(EdgeBatch batch) {
@@ -537,18 +568,22 @@ void ConnectivityService::stop() {
   if (stopped_.load(std::memory_order_acquire)) return;
   stopped_.store(true, std::memory_order_release);
   queue_.close();
-  if (ingest_thread_.joinable()) ingest_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(progress_mu_);
+    std::unique_lock<std::mutex> lock(progress_mu_);
+    progress_cv_.wait(lock, [&] { return ingest_done_; });
     stopping_ = true;
   }
-  // Both cvs, *before* the join: the compaction thread may be blocked in
+  // Both cvs, *before* the wait: the compaction task may be blocked in
   // do_checkpoint()'s progress_cv_ wait, whose predicate reads stopping_.
   compact_cv_.notify_all();
   progress_cv_.notify_all();
-  if (compact_thread_.joinable()) compact_thread_.join();
+  {
+    std::unique_lock<std::mutex> lock(progress_mu_);
+    compact_cv_.wait(lock, [&] { return compact_done_; });
+  }
   progress_cv_.notify_all();
   compact_cv_.notify_all();
+  exec_.drain();
   {
     std::lock_guard<std::mutex> lock(wal_mu_);
     wal_.close();  // fsyncs any unsynced tail (per policy) before closing

@@ -35,11 +35,11 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/types.h"
 #include "core/incremental.h"
+#include "exec/executor.h"
 #include "graph/graph.h"
 #include "svc/checkpoint.h"
 #include "svc/queue.h"
@@ -114,6 +114,15 @@ struct ServiceStats {
   std::uint64_t uptime_ms = 0;           // since service construction
   std::uint64_t replayed_edges = 0;      // recovered from the WAL at startup
   std::uint64_t requests_served = 0;     // filled by the server front end
+  // Connection-level telemetry, filled by the server front end (zero when
+  // talking to a pre-executor daemon).
+  std::uint64_t open_connections = 0;
+  std::uint64_t epoll_wakeups = 0;          // cumulative, all I/O loops
+  std::uint64_t write_buf_hwm_bytes = 0;    // worst per-connection backlog
+  std::uint64_t evicted_idle = 0;
+  std::uint64_t evicted_slow = 0;           // mid-frame deadline eviction
+  std::uint64_t evicted_backpressure = 0;   // write stall + buffer overflow
+  std::uint64_t accept_shed_fds = 0;        // connections shed under EMFILE
 };
 
 /// One liveness/durability sample, for the kHealth RPC and the chaos tests
@@ -286,9 +295,12 @@ class ConnectivityService {
   bool force_checkpoint_ = false;      // checkpoint_now() pending
   bool stopping_ = false;
 
-  std::thread ingest_thread_;
-  std::thread compact_thread_;
-  std::mutex stop_mu_;  // serializes stop(): only one caller touches the threads
+  // Both background loops run as long-lived tasks on the executor (one
+  // worker each); the done flags — guarded by progress_mu_, signaled on
+  // their cvs — replace thread joins so stop() keeps its exact ordering.
+  bool ingest_done_ = false;   // ingest task exited (drained or died)
+  bool compact_done_ = false;  // compact task exited
+  std::mutex stop_mu_;  // serializes stop(): only one caller runs the drain
   std::atomic<bool> stopped_{false};
 
   // Robustness state. wal_mu_ serializes appends from concurrent submit()
@@ -316,6 +328,10 @@ class ConnectivityService {
   std::atomic<bool> has_ckpt_{false};             // written or loaded one
   std::atomic<std::uint64_t> wal_segments_{0};
   std::atomic<std::uint64_t> wal_bytes_{0};
+
+  // Declared last so it is destroyed first: ~Executor drains, so no task
+  // can still be touching the members above while they are torn down.
+  exec::Executor exec_{exec::ExecutorOptions{.num_workers = 2}};
 };
 
 }  // namespace ecl::svc

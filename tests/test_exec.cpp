@@ -1,0 +1,419 @@
+// Tests for the ecl::exec subsystem: the task executor (submit/deferred/
+// periodic admission, drain ordering, error isolation, fault injection), the
+// timer wheel's lazy re-arm semantics, and the epoll event loop (framing,
+// pipelining, backpressure pause/eviction, post()/stop ordering).
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/event_loop.h"
+#include "exec/executor.h"
+#include "exec/timer_wheel.h"
+#include "fault/fault.h"
+
+namespace ecl::exec {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ------------------------------------------------------------- executor ----
+
+TEST(Executor, RunsSubmittedTasks) {
+  Executor ex;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(ex.submit([&] { ran.fetch_add(1); }));
+  }
+  ex.drain();
+  EXPECT_EQ(ran.load(), 32);
+  EXPECT_GE(ex.tasks_run(), 32u);
+}
+
+TEST(Executor, DrainRunsEverythingAlreadyReadyThenRefusesAdmission) {
+  Executor ex{ExecutorOptions{.num_workers = 1}};
+  std::atomic<int> ran{0};
+  std::atomic<bool> release{false};
+  // Park the single worker so the rest of the queue is provably "ready but
+  // not started" when drain() begins.
+  ASSERT_TRUE(ex.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  }));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ex.submit([&] { ran.fetch_add(1); }));
+  }
+  std::thread t([&] {
+    std::this_thread::sleep_for(20ms);
+    release.store(true);
+  });
+  ex.drain();  // must run all 8 queued tasks before joining
+  t.join();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_FALSE(ex.submit([&] { ran.fetch_add(1); }));  // admission closed
+  ex.drain();                                          // idempotent
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(Executor, SubmitAfterFiresOnceAfterDelay) {
+  Executor ex;
+  std::atomic<int> ran{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<std::int64_t> fired_after_ms{-1};
+  ASSERT_TRUE(ex.submit_after(30, [&] {
+    fired_after_ms.store(std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+    ran.fetch_add(1);
+  }));
+  std::this_thread::sleep_for(120ms);
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_GE(fired_after_ms.load(), 25);  // scheduler jitter tolerance
+  ex.drain();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Executor, PendingDeferredTasksAreDroppedByDrain) {
+  Executor ex;
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(ex.submit_after(60'000, [&] { ran.fetch_add(1); }));
+  ex.drain();
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(Executor, PeriodicRepeatsUntilCanceled) {
+  Executor ex;
+  std::atomic<int> ran{0};
+  const std::uint64_t id = ex.submit_periodic(10, [&] { ran.fetch_add(1); });
+  ASSERT_NE(id, 0u);
+  // Wait for at least three firings rather than a fixed sleep: CI schedulers
+  // stall, but the period keeps producing runs eventually.
+  for (int spin = 0; spin < 500 && ran.load() < 3; ++spin) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_GE(ran.load(), 3);
+  EXPECT_TRUE(ex.cancel(id));
+  EXPECT_FALSE(ex.cancel(id));  // already gone
+  const int at_cancel = ran.load();
+  std::this_thread::sleep_for(60ms);
+  // At most one already-promoted run may land after cancel().
+  EXPECT_LE(ran.load(), at_cancel + 1);
+  ex.drain();
+}
+
+TEST(Executor, TaskExceptionIsCountedNotFatal) {
+  Executor ex;
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(ex.submit([] { throw std::runtime_error("boom"); }));
+  ASSERT_TRUE(ex.submit([&] { ran.fetch_add(1); }));  // worker survived
+  ex.drain();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(ex.task_errors(), 1u);
+}
+
+class ExecFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::instance().disarm_all(); }
+  void TearDown() override { fault::Registry::instance().disarm_all(); }
+
+  static void arm(const char* point, fault::Action action, std::uint64_t times) {
+    fault::PointSpec spec;
+    spec.point = point;
+    spec.action = action;
+    spec.times = times;
+    fault::Registry::instance().arm_point(std::move(spec));
+  }
+};
+
+TEST_F(ExecFaultTest, SubmitFaultShedsAdmission) {
+  Executor ex;
+  std::atomic<int> ran{0};
+  arm("exec.submit", fault::Action::kFail, 1);
+  EXPECT_FALSE(ex.submit([&] { ran.fetch_add(1); }));  // shed by the fault
+  EXPECT_TRUE(ex.submit([&] { ran.fetch_add(1); }));   // budget spent
+  ex.drain();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST_F(ExecFaultTest, TaskFaultIsContained) {
+  Executor ex{ExecutorOptions{.num_workers = 1}};
+  arm("exec.task", fault::Action::kFail, 2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ex.submit([&] { ran.fetch_add(1); }));
+  }
+  ex.drain();
+  // Two task bodies were killed by the injected fault, two ran; the worker
+  // itself survived all four.
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(ex.task_errors(), 2u);
+}
+
+// ---------------------------------------------------------- timer wheel ----
+
+TEST(TimerWheel, ExpiresInDeadlineOrderAcrossSlots) {
+  TimerWheel wheel(/*slots=*/8, /*tick_ms=*/10);
+  TimerWheel::Timer a;
+  TimerWheel::Timer b;
+  int owner_a = 1;
+  int owner_b = 2;
+  a.owner = &owner_a;
+  b.owner = &owner_b;
+  wheel.arm(&a, 30);
+  wheel.arm(&b, 250);  // more than one revolution of an 8x10ms wheel
+  std::vector<int> fired;
+  wheel.advance(100, [&](void* o) { fired.push_back(*static_cast<int*>(o)); });
+  EXPECT_EQ(fired, std::vector<int>({1}));
+  wheel.advance(400, [&](void* o) { fired.push_back(*static_cast<int*>(o)); });
+  EXPECT_EQ(fired, std::vector<int>({1, 2}));
+  EXPECT_FALSE(wheel.armed());
+}
+
+TEST(TimerWheel, ReArmMovesDeadlineWithoutRefiling) {
+  TimerWheel wheel(8, 10);
+  TimerWheel::Timer t;
+  int owner = 7;
+  t.owner = &owner;
+  wheel.arm(&t, 20);
+  wheel.arm(&t, 500);  // O(1) deadline move; lazily re-filed at slot expiry
+  int fired = 0;
+  wheel.advance(100, [&](void*) { ++fired; });
+  EXPECT_EQ(fired, 0);  // original slot passed, deadline had moved
+  wheel.advance(600, [&](void*) { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, RemoveUnlinksEagerly) {
+  TimerWheel wheel(8, 10);
+  TimerWheel::Timer t;
+  int owner = 7;
+  t.owner = &owner;
+  wheel.arm(&t, 20);
+  wheel.remove(&t);
+  int fired = 0;
+  wheel.advance(1000, [&](void*) { ++fired; });
+  EXPECT_EQ(fired, 0);
+}
+
+// ----------------------------------------------------------- event loop ----
+
+std::uint32_t frame_len(const std::vector<std::uint8_t>& frame) {
+  return static_cast<std::uint32_t>(frame[0]) |
+         (static_cast<std::uint32_t>(frame[1]) << 8) |
+         (static_cast<std::uint32_t>(frame[2]) << 16) |
+         (static_cast<std::uint32_t>(frame[3]) << 24);
+}
+
+std::vector<std::uint8_t> make_frame(const std::string& payload) {
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out(4 + payload.size());
+  for (int i = 0; i < 4; ++i) out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n >> (8 * i));
+  std::memcpy(out.data() + 4, payload.data(), payload.size());
+  return out;
+}
+
+/// A started loop serving one end of a socketpair that echoes every frame.
+class EchoLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+    ConnCallbacks cbs;
+    cbs.on_frame = [this](Conn& c, std::span<const std::uint8_t> p) {
+      frames_.fetch_add(1);
+      c.send_frame(p.data(), p.size());
+    };
+    cbs.on_close = [this](Conn&, CloseReason r) {
+      std::lock_guard<std::mutex> lock(mu_);
+      close_reason_ = r;
+      closed_ = true;
+    };
+    ConnOptions copts;
+    copts.max_frame_bytes = 1 << 16;
+    ASSERT_NE(loop_.adopt(fds_[0], std::move(cbs), copts), nullptr);
+    std::string err;
+    ASSERT_TRUE(loop_.start(&err)) << err;
+  }
+
+  void TearDown() override {
+    loop_.request_stop();
+    loop_.join();
+    ::close(fds_[1]);
+  }
+
+  bool wait_closed(int ms = 2000) {
+    for (int i = 0; i < ms; ++i) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_) return true;
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+    return false;
+  }
+
+  CloseReason close_reason() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return close_reason_;
+  }
+
+  /// Reads exactly n bytes from the client end (blocking).
+  std::vector<std::uint8_t> read_exact(std::size_t n) {
+    std::vector<std::uint8_t> buf(n);
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::read(fds_[1], buf.data() + got, n - got);
+      if (r <= 0) {
+        buf.resize(got);
+        break;
+      }
+      got += static_cast<std::size_t>(r);
+    }
+    return buf;
+  }
+
+  EventLoop loop_;
+  int fds_[2] = {-1, -1};
+  std::atomic<int> frames_{0};
+  std::mutex mu_;
+  bool closed_ = false;
+  CloseReason close_reason_ = CloseReason::kAppClose;
+};
+
+TEST_F(EchoLoopTest, EchoesOneFrame) {
+  const auto f = make_frame("hello");
+  ASSERT_EQ(::write(fds_[1], f.data(), f.size()), static_cast<ssize_t>(f.size()));
+  const auto hdr = read_exact(4);
+  ASSERT_EQ(hdr.size(), 4u);
+  ASSERT_EQ(frame_len(hdr), 5u);
+  const auto body = read_exact(5);
+  EXPECT_EQ(std::string(body.begin(), body.end()), "hello");
+}
+
+TEST_F(EchoLoopTest, PipelinedFramesComeBackInOrder) {
+  // Many frames in one write: the loop must deliver and answer all of them
+  // in order, even though they arrive in a single epoll wake.
+  std::vector<std::uint8_t> burst;
+  constexpr int kFrames = 50;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto f = make_frame("msg-" + std::to_string(i));
+    burst.insert(burst.end(), f.begin(), f.end());
+  }
+  ASSERT_EQ(::write(fds_[1], burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+  for (int i = 0; i < kFrames; ++i) {
+    const auto hdr = read_exact(4);
+    ASSERT_EQ(hdr.size(), 4u) << "at frame " << i;
+    const auto body = read_exact(frame_len(hdr));
+    EXPECT_EQ(std::string(body.begin(), body.end()), "msg-" + std::to_string(i));
+  }
+  EXPECT_EQ(frames_.load(), kFrames);
+}
+
+TEST_F(EchoLoopTest, SplitFrameIsReassembled) {
+  const auto f = make_frame("split-across-writes");
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    ASSERT_EQ(::write(fds_[1], f.data() + i, 1), 1);
+    std::this_thread::sleep_for(1ms);
+  }
+  const auto hdr = read_exact(4);
+  ASSERT_EQ(hdr.size(), 4u);
+  const auto body = read_exact(frame_len(hdr));
+  EXPECT_EQ(std::string(body.begin(), body.end()), "split-across-writes");
+}
+
+TEST_F(EchoLoopTest, OversizedFrameClosesWithProtocolError) {
+  std::vector<std::uint8_t> hdr(4);
+  const std::uint32_t huge = (1u << 16) + 1;  // just past max_frame_bytes
+  std::memcpy(hdr.data(), &huge, 4);
+  ASSERT_EQ(::write(fds_[1], hdr.data(), 4), 4);
+  ASSERT_TRUE(wait_closed());
+  EXPECT_EQ(close_reason(), CloseReason::kProtocolError);
+}
+
+TEST_F(EchoLoopTest, PeerCloseReportsEof) {
+  ::shutdown(fds_[1], SHUT_WR);
+  ASSERT_TRUE(wait_closed());
+  EXPECT_EQ(close_reason(), CloseReason::kPeerClosed);
+}
+
+TEST(EventLoop, PostRunsOnLoopThreadAndStopClosesConns) {
+  EventLoop loop;
+  std::string err;
+  ASSERT_TRUE(loop.start(&err)) << err;
+  std::atomic<bool> ran{false};
+  loop.post([&] { ran.store(true); });
+  for (int i = 0; i < 2000 && !ran.load(); ++i) std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(ran.load());
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::atomic<bool> adopted{false};
+  std::atomic<bool> closed{false};
+  std::atomic<CloseReason> reason{CloseReason::kAppClose};
+  loop.post([&] {
+    ConnCallbacks cbs;
+    cbs.on_frame = [](Conn&, std::span<const std::uint8_t>) {};
+    cbs.on_close = [&](Conn&, CloseReason r) {
+      reason.store(r);
+      closed.store(true);
+    };
+    EXPECT_NE(loop.adopt(fds[0], std::move(cbs), ConnOptions{}), nullptr);
+    adopted.store(true);
+  });
+  for (int i = 0; i < 2000 && !adopted.load(); ++i) std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(adopted.load());
+  loop.request_stop();
+  loop.join();
+  EXPECT_TRUE(closed.load());
+  EXPECT_EQ(reason.load(), CloseReason::kShutdown);
+  ::close(fds[1]);
+}
+
+TEST(EventLoop, IdleTimeoutEvicts) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::atomic<bool> closed{false};
+  std::atomic<CloseReason> reason{CloseReason::kAppClose};
+  ConnCallbacks cbs;
+  cbs.on_frame = [](Conn&, std::span<const std::uint8_t>) {};
+  cbs.on_close = [&](Conn&, CloseReason r) {
+    reason.store(r);
+    closed.store(true);
+  };
+  ConnOptions copts;
+  copts.idle_timeout_ms = 50;
+  ASSERT_NE(loop.adopt(fds[0], std::move(cbs), copts), nullptr);
+  std::string err;
+  ASSERT_TRUE(loop.start(&err)) << err;
+  for (int i = 0; i < 3000 && !closed.load(); ++i) std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(closed.load());
+  EXPECT_EQ(reason.load(), CloseReason::kIdleTimeout);
+  loop.request_stop();
+  loop.join();
+  ::close(fds[1]);
+}
+
+TEST(EventLoopPool, RoundRobinAndSharedCounters) {
+  EventLoopPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  EventLoop* first = &pool.next();
+  EventLoop* second = &pool.next();
+  EventLoop* third = &pool.next();
+  EXPECT_NE(first, second);
+  EXPECT_NE(second, third);
+  EXPECT_EQ(first, &pool.next());  // wrapped
+  std::string err;
+  ASSERT_TRUE(pool.start(&err)) << err;
+  pool.stop();
+  pool.stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace ecl::exec

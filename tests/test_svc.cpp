@@ -4,6 +4,7 @@
 // linearizability smoke, the wire protocol, and an end-to-end socket test
 // against a live Server.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -714,6 +715,132 @@ TEST_F(SvcSocketTest, FinishedConnectionsAreReaped) {
     live = server_->active_connections();
   }
   EXPECT_EQ(live, 0u);
+}
+
+TEST_F(SvcSocketTest, PipelinedRequestsAnswerInOrder) {
+  // One connection, many requests written back to back before any response
+  // is read: the event loop must deliver every response, in request order,
+  // with the caller's ids preserved.
+  std::string err;
+  const int fd = net::connect_unix(unix_path_, &err);
+  ASSERT_GE(fd, 0) << err;
+
+  constexpr int kRequests = 16;
+  std::vector<MsgType> types;
+  std::vector<std::uint8_t> burst;
+  for (int i = 0; i < kRequests; ++i) {
+    Request req;
+    req.id = 100 + static_cast<std::uint64_t>(i);
+    switch (i % 3) {
+      case 0:
+        req.type = MsgType::kPing;
+        break;
+      case 1:
+        req.type = MsgType::kComponentCount;
+        break;
+      default:
+        req.type = MsgType::kConnected;
+        req.u = 1;
+        req.v = 2;
+        req.mode = ReadMode::kFresh;
+        break;
+    }
+    types.push_back(req.type);
+    encode_request(req, burst);  // appends a complete frame
+  }
+  ASSERT_TRUE(net::write_full(fd, burst.data(), burst.size()));
+
+  for (int i = 0; i < kRequests; ++i) {
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(net::read_frame(fd, payload)) << "response " << i;
+    Response resp;
+    ASSERT_TRUE(decode_response(payload, resp)) << "response " << i;
+    EXPECT_EQ(resp.id, 100 + static_cast<std::uint64_t>(i));
+    EXPECT_EQ(resp.type, types[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(resp.status, Status::kOk);
+  }
+  ::close(fd);
+}
+
+// Backpressure: a dedicated fixture with a tiny server-side SO_SNDBUF and a
+// short write-stall bound, so a deliberately-unread client trips the
+// pause -> stall -> evict ladder with kilobytes instead of the production
+// defaults' tens of megabytes.
+class SvcBackpressureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServiceOptions opts;
+    opts.compact_interval_ms = 5;
+    service_ = std::make_unique<ConnectivityService>(256, opts);
+    ServerOptions sopts;
+    sopts.unix_path = ::testing::TempDir() + "ecl_svc_bp_" +
+                      std::to_string(::getpid()) + ".sock";
+    std::remove(sopts.unix_path.c_str());
+    sopts.sndbuf_bytes = 4096;
+    sopts.write_buffer_pause = 8192;
+    sopts.write_buffer_limit = 1u << 20;
+    sopts.send_timeout_ms = 200;   // write-stall eviction bound
+    sopts.frame_timeout_ms = 1000;
+    server_ = std::make_unique<Server>(*service_, sopts);
+    std::string err;
+    ASSERT_TRUE(server_->start(&err)) << err;
+    unix_path_ = sopts.unix_path;
+  }
+
+  void TearDown() override {
+    server_->stop();
+    service_->stop();
+  }
+
+  std::unique_ptr<ConnectivityService> service_;
+  std::unique_ptr<Server> server_;
+  std::string unix_path_;
+};
+
+TEST_F(SvcBackpressureTest, UnreadClientIsEvictedNotServedForever) {
+  std::string err;
+  const int fd = net::connect_unix(unix_path_, &err);
+  ASSERT_GE(fd, 0) << err;
+
+  // Pipeline kStats requests (responses are ~250 bytes each) and never read
+  // a byte back. Non-blocking sends: once the server pauses reading, our
+  // own socket fills and EAGAIN is expected — by then the server's write
+  // buffer is past the pause threshold and the stall clock is running.
+  std::vector<std::uint8_t> frame;
+  std::size_t sent_requests = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Request req;
+    req.type = MsgType::kStats;
+    req.id = static_cast<std::uint64_t>(i);
+    frame.clear();
+    encode_request(req, frame);
+    const ssize_t n = ::send(fd, frame.data(), frame.size(), MSG_DONTWAIT);
+    if (n < 0) {
+      ASSERT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK) << strerror(errno);
+      break;  // our send buffer is full: the server has stopped reading
+    }
+    ++sent_requests;
+  }
+  ASSERT_GT(sent_requests, 0u);
+
+  // Never reading drives the ladder to eviction within send_timeout_ms.
+  ServerConnStats cs = server_->conn_stats();
+  for (int tries = 0; tries < 250 && cs.evicted_backpressure == 0; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cs = server_->conn_stats();
+  }
+  EXPECT_GE(cs.evicted_backpressure, 1u);
+  ::close(fd);
+
+  // The eviction was surgical: a fresh, well-behaved client is served.
+  auto client = Client::connect_unix(unix_path_, &err);
+  ASSERT_NE(client, nullptr) << err;
+  EXPECT_TRUE(client->ping());
+
+  // And the kStats wire fields report the eviction.
+  ServiceStats stats{};
+  ASSERT_TRUE(client->stats(stats));
+  EXPECT_GE(stats.evicted_backpressure, 1u);
 }
 
 }  // namespace

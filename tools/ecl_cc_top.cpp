@@ -121,6 +121,27 @@ void render(const std::string& endpoint, const Sample& cur, const Sample* prev,
                 static_cast<unsigned long long>(h.last_checkpoint_epoch),
                 static_cast<double>(h.last_checkpoint_age_ms) / 1000.0);
   }
+
+  // Connection panel (zeros against a pre-event-loop daemon, whose tagged
+  // stats simply lack these fields).
+  std::printf("conns       %llu open",
+              static_cast<unsigned long long>(st.open_connections));
+  if (prev != nullptr) {
+    std::printf("   %.0f wakeups/s",
+                rate(st.epoll_wakeups, prev->stats.epoll_wakeups, dt));
+  }
+  std::printf("   wbuf hwm ");
+  print_bytes(static_cast<double>(st.write_buf_hwm_bytes));
+  std::printf("\n");
+  const std::uint64_t evicted =
+      st.evicted_idle + st.evicted_slow + st.evicted_backpressure;
+  std::printf("evictions   %llu total (%llu idle, %llu slow, %llu backpressure)"
+              "   %llu accepts shed\n",
+              static_cast<unsigned long long>(evicted),
+              static_cast<unsigned long long>(st.evicted_idle),
+              static_cast<unsigned long long>(st.evicted_slow),
+              static_cast<unsigned long long>(st.evicted_backpressure),
+              static_cast<unsigned long long>(st.accept_shed_fds));
   std::fflush(stdout);
 }
 

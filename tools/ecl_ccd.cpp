@@ -35,6 +35,13 @@
 //                           0 = only the final checkpoint on clean stop)
 //   --frame-timeout-ms=N    evict clients that stall mid-frame (def. 10000)
 //   --idle-timeout-ms=N     evict connections idle this long (0 = never)
+//   --send-timeout-ms=N     evict clients that stop draining their buffered
+//                           responses for this long (def. 10000; 0 = never)
+//   --io-threads=N          event-loop threads multiplexing the connections
+//                           (def. 2); connection capacity is bounded by fds,
+//                           not by this
+//   --backlog=N             listen(2) backlog (def. 256 — a C10K connect
+//                           burst overflows the old 64 before accept runs)
 //   --ready-file=PATH       write "unix <path>" or "tcp <host> <port>" once
 //                           listening (lets scripts wait for startup); with
 //                           --metrics-port a "metrics <port>" line follows
@@ -133,6 +140,16 @@ void collect_service_families(const ecl::svc::ConnectivityService& service,
   append_family(out, "ecl_ckpt_written_total", "counter", h.checkpoints_written);
   append_family(out, "ecl_ckpt_last_epoch", "gauge", h.last_checkpoint_epoch);
   append_family(out, "ecl_ckpt_age_ms", "gauge", h.last_checkpoint_age_ms);
+  // Connection-level telemetry from the event-loop front end.
+  const auto cs = server.conn_stats();
+  append_family(out, "ecl_svc_open_connections", "gauge", cs.open_connections);
+  append_family(out, "ecl_svc_epoll_wakeups_total", "counter", cs.epoll_wakeups);
+  append_family(out, "ecl_svc_write_buf_hwm_bytes", "gauge", cs.write_buf_hwm_bytes);
+  append_family(out, "ecl_svc_evicted_idle_total", "counter", cs.evicted_idle);
+  append_family(out, "ecl_svc_evicted_slow_total", "counter", cs.evicted_slow);
+  append_family(out, "ecl_svc_evicted_backpressure_total", "counter",
+                cs.evicted_backpressure);
+  append_family(out, "ecl_svc_accept_shed_fds_total", "counter", cs.accept_shed_fds);
 }
 
 }  // namespace
@@ -167,6 +184,9 @@ int main(int argc, char** argv) {
   nopts.port = static_cast<int>(args.get_int("port", 4280));
   nopts.frame_timeout_ms = static_cast<int>(args.get_int("frame-timeout-ms", 10000));
   nopts.idle_timeout_ms = static_cast<int>(args.get_int("idle-timeout-ms", 0));
+  nopts.send_timeout_ms = static_cast<int>(args.get_int("send-timeout-ms", 10000));
+  nopts.io_threads = static_cast<int>(args.get_int("io-threads", 2));
+  nopts.backlog = static_cast<int>(args.get_int("backlog", 256));
 
   const std::string graph_file = args.get("graph", "");
   const std::string gen = args.get("gen", "");
