@@ -25,6 +25,16 @@
 #   corrupt-newest  checkpoints on; the newest checkpoint is corrupted after
 #                   the kill — the loader must fall back to the previous one
 #                   (retention keeps segments the *oldest* checkpoint needs)
+#   kill-replica    WAL-shipping replica (docs/REPLICATION.md) SIGKILLed
+#                   mid-stream: the primary must not notice, and the revived
+#                   replica resumes from its local mirror, catches up (lag
+#                   observable via kHealth + /metrics), and serves every
+#                   acked edge
+#   kill-primary-then-promote  the primary is SIGKILLed mid-ingest; the
+#                   replica is promoted over the wire (kPromote) and every
+#                   batch acked *and replicated* before the kill (frozen via
+#                   a wal_bytes catch-up barrier) must be durable and
+#                   queryable on the promoted node, which then accepts writes
 #
 #   observability rider: every daemon run also serves /metrics on an
 #   ephemeral port; the harness scrapes and lint-checks the exposition both
@@ -43,7 +53,7 @@ SCRIPT_DIR=$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/ecl_svc_chaos.XXXXXX")
 
 cleanup() {
-  for pid in "${CCD_PID:-}" "${LOADGEN_PID:-}"; do
+  for pid in "${CCD_PID:-}" "${RCCD_PID:-}" "${LOADGEN_PID:-}"; do
     if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
       kill -9 "$pid" 2>/dev/null || true
       wait "$pid" 2>/dev/null || true
@@ -82,7 +92,9 @@ PYEOF
 }
 
 # Wire-level verifier: drains the queue, checks health, then checks every
-# acked edge. argv: <sock> <acked-file> <recovery: replay|any>
+# acked edge. argv: <sock> <acked-file> <recovery: replay|any|none>
+# ('none' skips the recovery-evidence assertions: the target never
+# restarted — e.g. a just-promoted replica that got its state by streaming)
 VERIFY="$WORK/verify.py"
 cat >"$VERIFY" <<'PYEOF'
 import socket, struct, sys, time
@@ -171,6 +183,8 @@ print(f'health ok; replayed={replayed} ckpt_epoch={last_ckpt_epoch} '
       f'segments={wal_segments}')
 if recovery == 'replay':
     assert replayed > 0, 'expected a non-empty WAL replay'
+elif recovery == 'none':
+    pass  # live node (never restarted): no recovery evidence to demand
 else:
     # Checkpoint scenarios: recovery may come from the checkpoint (epoch>0),
     # the WAL tail, or both — but it must come from somewhere.
@@ -418,5 +432,197 @@ CCD_PID=
 grep -q "read-only degraded" "$DDIR/ccd.log" || {
   echo "daemon never reported degraded mode:"; cat "$DDIR/ccd.log"; exit 1; }
 echo "==== scenario degraded-exporter: OK"
+
+# Waits until a replica daemon reports itself fully caught up (lag_seq and
+# lag_ms both 0 — published only after a fetch round that reached the
+# primary's active tail). Call only once the primary has stopped ingesting.
+wait_caught_up() {
+  local rsock=$1
+  for _ in $(seq 1 150); do
+    local out lag_seq lag_ms
+    out=$("$CLIENT" --unix="$rsock" health 2>/dev/null || true)
+    lag_seq=$(awk '/^replica_lag_seq/{print $2}' <<<"$out")
+    lag_ms=$(awk '/^replica_lag_ms/{print $2}' <<<"$out")
+    [[ "$lag_seq" == 0 && "$lag_ms" == 0 ]] && return 0
+    sleep 0.2
+  done
+  echo "replica never caught up; last health:"; "$CLIENT" --unix="$rsock" health || true
+  return 1
+}
+
+# SIGKILL the replica mid-stream: the primary must be unaffected, and the
+# revived replica (same mirror dirs) must resume, catch up, and serve every
+# edge the *primary* acked. --replica-hold-ms is generous so the dead
+# replica's segments survive the outage and the revival streams the gap
+# instead of re-bootstrapping.
+echo "==== scenario: kill-replica"
+KDIR="$WORK/kill-replica"
+mkdir -p "$KDIR/p" "$KDIR/r"
+echo "== starting primary"
+"$CCD" --vertices=20000 --unix="$KDIR/p.sock" --wal="$KDIR/p/wal" \
+       --wal-fsync=batch --wal-segment-bytes=32768 \
+       --checkpoint="$KDIR/p/ckpt" --checkpoint-interval-ms=300 \
+       --replica-hold-ms=30000 \
+       --ready-file="$KDIR/ready_p" --metrics-port=0 >"$KDIR/p.log" 2>&1 &
+CCD_PID=$!
+wait_ready "$KDIR/ready_p" "$CCD_PID" "$KDIR/p.log"
+
+echo "== starting replica"
+"$CCD" --vertices=20000 --unix="$KDIR/r.sock" --replica-of="$KDIR/p.sock" \
+       --wal="$KDIR/r/wal" --checkpoint="$KDIR/r/ckpt" \
+       --replica-fetch-interval-ms=25 \
+       --ready-file="$KDIR/ready_r1" --metrics-port=0 >"$KDIR/r1.log" 2>&1 &
+RCCD_PID=$!
+wait_ready "$KDIR/ready_r1" "$RCCD_PID" "$KDIR/r1.log"
+
+echo "== scraping replica /metrics (must export role=replica)"
+scrape_and_lint "$KDIR/ready_r1"
+grep -q "^ecl_svc_role 1$" "$WORK/last_scrape.txt"
+
+echo "== chaos load against the primary (background)"
+"$LOADGEN" --unix="$KDIR/p.sock" --threads=3 --duration-ms=5000 --batch=32 \
+           --ingest-frac=0.5 --seed=17 --chaos --acked-file="$KDIR/acked.txt" \
+           >"$KDIR/loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+
+sleep 1.5
+echo "== SIGKILL the replica mid-stream"
+kill -9 "$RCCD_PID"
+wait "$RCCD_PID" 2>/dev/null || true
+RCCD_PID=
+
+echo "== primary must be unaffected"
+"$CLIENT" --unix="$KDIR/p.sock" ping | grep -qx "pong"
+health_exit=0
+"$CLIENT" --unix="$KDIR/p.sock" health >/dev/null || health_exit=$?
+[[ "$health_exit" -eq 0 ]] || { echo "primary degraded after replica death"; exit 1; }
+
+sleep 0.5
+echo "== reviving the replica on the same mirror"
+"$CCD" --vertices=20000 --unix="$KDIR/r.sock" --replica-of="$KDIR/p.sock" \
+       --wal="$KDIR/r/wal" --checkpoint="$KDIR/r/ckpt" \
+       --replica-fetch-interval-ms=25 \
+       --ready-file="$KDIR/ready_r2" --metrics-port=0 >"$KDIR/r2.log" 2>&1 &
+RCCD_PID=$!
+wait_ready "$KDIR/ready_r2" "$RCCD_PID" "$KDIR/r2.log"
+
+echo "== waiting for the load generator"
+loadgen_exit=0
+wait "$LOADGEN_PID" || loadgen_exit=$?
+LOADGEN_PID=
+[[ "$loadgen_exit" -eq 0 ]] || {
+  echo "loadgen exit code $loadgen_exit:"; cat "$KDIR/loadgen.log"; exit 1; }
+[[ -s "$KDIR/acked.txt" ]] || { echo "no acked batches recorded"; exit 1; }
+
+echo "== waiting for the revived replica to catch up"
+wait_caught_up "$KDIR/r.sock"
+scrape_and_lint "$KDIR/ready_r2"
+grep -q "^ecl_svc_role 1$" "$WORK/last_scrape.txt"
+grep -q "^ecl_svc_replica_lag_seq 0$" "$WORK/last_scrape.txt"
+
+echo "== verifying every acked edge on the replica"
+python3 "$VERIFY" "$KDIR/r.sock" "$KDIR/acked.txt" any
+
+echo "== primary exports the connected replica"
+scrape_and_lint "$KDIR/ready_p"
+grep -Eq "^ecl_svc_replicas_connected [1-9]" "$WORK/last_scrape.txt"
+
+echo "== graceful shutdown (replica, then primary)"
+"$CLIENT" --unix="$KDIR/r.sock" shutdown
+rccd_exit=0
+wait "$RCCD_PID" || rccd_exit=$?
+RCCD_PID=
+[[ "$rccd_exit" -eq 0 ]] || { echo "replica exit code $rccd_exit"; cat "$KDIR/r2.log"; exit 1; }
+"$CLIENT" --unix="$KDIR/p.sock" shutdown
+ccd_exit=0
+wait "$CCD_PID" || ccd_exit=$?
+CCD_PID=
+[[ "$ccd_exit" -eq 0 ]] || { echo "primary exit code $ccd_exit"; cat "$KDIR/p.log"; exit 1; }
+echo "==== scenario kill-replica: OK"
+
+# Failover: SIGKILL the primary mid-ingest, promote the replica over the
+# wire, and require every batch acked *and shipped* before the kill to be
+# queryable on the promoted node. The frozen acked set is fenced by a
+# wal_bytes barrier: freeze the file, sample the primary's wal_bytes W,
+# wait until the replica's mirrored wal_bytes >= W (no checkpoints in this
+# run, so the primary never retires segments and the two byte counts are
+# directly comparable) — then everything frozen is provably on the replica.
+echo "==== scenario: kill-primary-then-promote"
+FDIR="$WORK/kill-primary"
+mkdir -p "$FDIR/p" "$FDIR/r"
+echo "== starting primary (WAL only: bootstrap-without-checkpoint path)"
+"$CCD" --vertices=20000 --unix="$FDIR/p.sock" --wal="$FDIR/p/wal" \
+       --wal-fsync=batch \
+       --ready-file="$FDIR/ready_p" --metrics-port=0 >"$FDIR/p.log" 2>&1 &
+CCD_PID=$!
+wait_ready "$FDIR/ready_p" "$CCD_PID" "$FDIR/p.log"
+
+echo "== starting replica"
+"$CCD" --vertices=20000 --unix="$FDIR/r.sock" --replica-of="$FDIR/p.sock" \
+       --wal="$FDIR/r/wal" --checkpoint="$FDIR/r/ckpt" \
+       --replica-fetch-interval-ms=25 \
+       --ready-file="$FDIR/ready_r" --metrics-port=0 >"$FDIR/r.log" 2>&1 &
+RCCD_PID=$!
+wait_ready "$FDIR/ready_r" "$RCCD_PID" "$FDIR/r.log"
+
+echo "== chaos load against the primary (background)"
+# --retries=3 (not the chaos default 20): the primary is never coming back,
+# so a 20-deep retry ladder per op would stall the deadline check for ~10 s.
+"$LOADGEN" --unix="$FDIR/p.sock" --threads=3 --duration-ms=8000 --batch=32 \
+           --ingest-frac=0.5 --seed=23 --chaos --retries=3 \
+           --acked-file="$FDIR/acked.txt" >"$FDIR/loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+
+sleep 2
+echo "== freezing the acked set and fencing it on the replica"
+cp "$FDIR/acked.txt" "$FDIR/acked_frozen.txt"
+[[ -s "$FDIR/acked_frozen.txt" ]] || { echo "no acked batches to freeze"; exit 1; }
+PRIMARY_WAL_BYTES=$("$CLIENT" --unix="$FDIR/p.sock" health | awk '/^wal_bytes/{print $2}')
+[[ -n "$PRIMARY_WAL_BYTES" ]] || { echo "no wal_bytes in primary health"; exit 1; }
+caught=0
+for _ in $(seq 1 100); do
+  RB=$("$CLIENT" --unix="$FDIR/r.sock" health 2>/dev/null | awk '/^wal_bytes/{print $2}')
+  if [[ -n "$RB" && "$RB" -ge "$PRIMARY_WAL_BYTES" ]]; then caught=1; break; fi
+  sleep 0.1
+done
+[[ "$caught" -eq 1 ]] || { echo "replica never reached wal_bytes $PRIMARY_WAL_BYTES"; exit 1; }
+echo "frozen $(wc -l <"$FDIR/acked_frozen.txt") acked edges behind wal_bytes $PRIMARY_WAL_BYTES"
+
+echo "== SIGKILL the primary mid-ingest"
+kill -9 "$CCD_PID"
+wait "$CCD_PID" 2>/dev/null || true
+CCD_PID=
+
+echo "== writes on the un-promoted replica must bounce with not_primary"
+ingest_exit=0
+"$CLIENT" --unix="$FDIR/r.sock" --retries=0 ingest 1 2 || ingest_exit=$?
+[[ "$ingest_exit" -eq 2 ]] || { echo "expected not_primary (2), got $ingest_exit"; exit 1; }
+
+echo "== promoting the replica over the wire"
+"$CLIENT" --unix="$FDIR/r.sock" promote | grep -qx "promoted"
+scrape_and_lint "$FDIR/ready_r"
+grep -q "^ecl_svc_role 0$" "$WORK/last_scrape.txt"
+
+echo "== the promoted node accepts writes"
+"$CLIENT" --unix="$FDIR/r.sock" ingest 1 2 2 3
+"$CLIENT" --unix="$FDIR/r.sock" connected 1 3 | grep -qx "connected"
+
+echo "== waiting for the load generator (its primary is gone for good)"
+loadgen_exit=0
+wait "$LOADGEN_PID" || loadgen_exit=$?
+LOADGEN_PID=
+[[ "$loadgen_exit" -eq 0 ]] || {
+  echo "loadgen exit code $loadgen_exit:"; cat "$FDIR/loadgen.log"; exit 1; }
+
+echo "== verifying every frozen acked edge on the promoted node"
+python3 "$VERIFY" "$FDIR/r.sock" "$FDIR/acked_frozen.txt" none
+
+echo "== graceful shutdown"
+"$CLIENT" --unix="$FDIR/r.sock" shutdown
+rccd_exit=0
+wait "$RCCD_PID" || rccd_exit=$?
+RCCD_PID=
+[[ "$rccd_exit" -eq 0 ]] || { echo "promoted node exit code $rccd_exit"; cat "$FDIR/r.log"; exit 1; }
+echo "==== scenario kill-primary-then-promote: OK"
 
 echo "svc_chaos: OK"

@@ -140,7 +140,10 @@ void Executor::worker_loop() {
     if (heap_.empty()) {
       cv_.wait(lock);
     } else {
-      cv_.wait_until(lock, heap_.top().due);
+      // Copy the deadline: wait_until takes it by reference, releases mu_,
+      // and drain() may free the heap storage before this waiter wakes.
+      const auto due = heap_.top().due;
+      cv_.wait_until(lock, due);
     }
   }
 }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "obs/metrics.h"
 
@@ -186,6 +187,52 @@ bool Client::health(ServiceHealth& out) {
   if (!call(req, resp) || resp.status != Status::kOk) return false;
   out = resp.health;
   return true;
+}
+
+bool Client::fetch_ckpt(CkptImage& out, Status* status) {
+  Request req;
+  req.type = MsgType::kFetchCkpt;
+  Response resp;
+  if (!call(req, resp)) {
+    if (status != nullptr) *status = Status::kError;
+    return false;
+  }
+  if (status != nullptr) *status = resp.status;
+  if (resp.status != Status::kOk) return false;
+  out = std::move(resp.ckpt);
+  return true;
+}
+
+bool Client::fetch_wal(std::uint64_t replica_id, std::uint64_t seq,
+                       std::uint64_t offset, std::uint32_t max_bytes, WalChunk& out,
+                       Status* status) {
+  Request req;
+  req.type = MsgType::kFetchWal;
+  req.replica_id = replica_id;
+  req.seq = seq;
+  req.offset = offset;
+  req.max_bytes = max_bytes;
+  Response resp;
+  if (!call(req, resp)) {
+    if (status != nullptr) *status = Status::kError;
+    return false;
+  }
+  if (status != nullptr) *status = resp.status;
+  if (resp.status != Status::kOk) return false;
+  out = std::move(resp.wal);
+  return true;
+}
+
+bool Client::promote(Status* status) {
+  Request req;
+  req.type = MsgType::kPromote;
+  Response resp;
+  if (!call(req, resp)) {
+    if (status != nullptr) *status = Status::kError;
+    return false;
+  }
+  if (status != nullptr) *status = resp.status;
+  return resp.status == Status::kOk;
 }
 
 bool Client::shutdown_server() {

@@ -99,6 +99,23 @@ class Client {
   /// retried: re-sending shutdown to a dying server is noise.
   [[nodiscard]] bool shutdown_server();
 
+  // --- replication (docs/REPLICATION.md) -----------------------------------
+
+  /// Fetches the primary's newest checkpoint image (kFetchCkpt). True on a
+  /// kOk round trip — check out.has for whether a checkpoint existed.
+  [[nodiscard]] bool fetch_ckpt(CkptImage& out, Status* status = nullptr);
+
+  /// Fetches up to max_bytes of WAL segment `seq` starting at `offset`
+  /// (kFetchWal). replica_id != 0 registers the caller in the primary's
+  /// retention registry. Read-only and idempotent, so retries are safe.
+  [[nodiscard]] bool fetch_wal(std::uint64_t replica_id, std::uint64_t seq,
+                               std::uint64_t offset, std::uint32_t max_bytes,
+                               WalChunk& out, Status* status = nullptr);
+
+  /// Promotes a replica to a writable primary (kPromote). True on kOk;
+  /// idempotent on the server, so transport retries are safe.
+  [[nodiscard]] bool promote(Status* status = nullptr);
+
   /// Cumulative retry attempts made by this client (for tests/loadgen).
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
   /// Cumulative successful reconnects after transport failures.

@@ -59,6 +59,13 @@ class Reader {
     return true;
   }
 
+  bool bytes(std::vector<std::uint8_t>& out, std::size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    out.assign(data_.data() + pos_, data_.data() + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
@@ -162,6 +169,47 @@ bool decode_stats_body_tagged(Reader& r, ServiceStats& st) {
   return true;
 }
 
+/// The tagged kHealth tail, appended after the fixed 93-byte body. Same
+/// append-only discipline as the stats body: new fields get new tags, old
+/// decoders skip what they don't know, and the fixed offsets the chaos
+/// harness's wire verifier depends on never move.
+void encode_health_tail(const ServiceHealth& h, std::vector<std::uint8_t>& out) {
+  const std::pair<HealthField, std::uint64_t> fields[] = {
+      {HealthField::kRole, h.replica ? 1u : 0u},
+      {HealthField::kReplicaLagSeq, h.replica_lag_seq},
+      {HealthField::kReplicaLagMs, h.replica_lag_ms},
+      {HealthField::kReplicasConnected, h.replicas_connected},
+  };
+  put_u8(out, kHealthTaggedFormat);
+  put_u16(out, static_cast<std::uint16_t>(std::size(fields)));
+  for (const auto& [tag, value] : fields) {
+    put_u16(out, static_cast<std::uint16_t>(tag));
+    put_u64(out, value);
+  }
+}
+
+bool decode_health_tail(Reader& r, ServiceHealth& h) {
+  std::uint8_t format = 0;
+  if (!r.u8(format) || format != kHealthTaggedFormat) return false;
+  std::uint16_t field_count = 0;
+  if (!r.u16(field_count)) return false;
+  if (r.remaining() != static_cast<std::size_t>(field_count) * 10) return false;
+  for (std::uint16_t i = 0; i < field_count; ++i) {
+    std::uint16_t tag = 0;
+    std::uint64_t value = 0;
+    if (!r.u16(tag) || !r.u64(value)) return false;
+    switch (static_cast<HealthField>(tag)) {
+      case HealthField::kRole: h.replica = value != 0; break;
+      case HealthField::kReplicaLagSeq: h.replica_lag_seq = value; break;
+      case HealthField::kReplicaLagMs: h.replica_lag_ms = value; break;
+      case HealthField::kReplicasConnected: h.replicas_connected = value; break;
+      default:
+        break;  // a newer server's field: skip, never fail
+    }
+  }
+  return true;
+}
+
 /// The pre-tagging fixed body: exactly 13 x u64 in declaration order.
 bool decode_stats_body_legacy(Reader& r, ServiceStats& st) {
   std::uint64_t components = 0;
@@ -198,6 +246,12 @@ const char* msg_type_name(MsgType t) {
       return "shutdown";
     case MsgType::kHealth:
       return "health";
+    case MsgType::kFetchCkpt:
+      return "fetch_ckpt";
+    case MsgType::kFetchWal:
+      return "fetch_wal";
+    case MsgType::kPromote:
+      return "promote";
   }
   return "?";
 }
@@ -214,6 +268,8 @@ const char* status_name(Status s) {
       return "invalid";
     case Status::kError:
       return "error";
+    case Status::kNotPrimary:
+      return "not_primary";
   }
   return "?";
 }
@@ -240,11 +296,19 @@ void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
       put_u32(out, req.v);
       put_u8(out, static_cast<std::uint8_t>(req.mode));
       break;
+    case MsgType::kFetchWal:
+      put_u64(out, req.replica_id);
+      put_u64(out, req.seq);
+      put_u64(out, req.offset);
+      put_u32(out, req.max_bytes);
+      break;
     case MsgType::kPing:
     case MsgType::kComponentCount:
     case MsgType::kStats:
     case MsgType::kShutdown:
     case MsgType::kHealth:
+    case MsgType::kFetchCkpt:
+    case MsgType::kPromote:
       break;
   }
   finish_frame(out, frame_start);
@@ -282,10 +346,29 @@ void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
       put_u64(out, resp.health.last_checkpoint_age_ms);
       put_u64(out, resp.health.wal_segments);
       put_u64(out, resp.health.wal_bytes);
+      encode_health_tail(resp.health, out);
+      break;
+    case MsgType::kFetchCkpt:
+      put_u8(out, resp.ckpt.has ? 1 : 0);
+      put_u64(out, resp.ckpt.seq);
+      put_u64(out, resp.ckpt.wal_seq);
+      put_u32(out, static_cast<std::uint32_t>(resp.ckpt.image.size()));
+      out.insert(out.end(), resp.ckpt.image.begin(), resp.ckpt.image.end());
+      break;
+    case MsgType::kFetchWal:
+      put_u8(out, static_cast<std::uint8_t>((resp.wal.retired ? 1u : 0u) |
+                                            (resp.wal.sealed ? 2u : 0u)));
+      put_u64(out, resp.wal.seq);
+      put_u64(out, resp.wal.offset);
+      put_u64(out, resp.wal.segment_bytes);
+      put_u64(out, resp.wal.active_seq);
+      put_u32(out, static_cast<std::uint32_t>(resp.wal.data.size()));
+      out.insert(out.end(), resp.wal.data.begin(), resp.wal.data.end());
       break;
     case MsgType::kPing:
     case MsgType::kIngest:
     case MsgType::kShutdown:
+    case MsgType::kPromote:
       break;
   }
   finish_frame(out, frame_start);
@@ -294,13 +377,17 @@ void encode_response(const Response& resp, std::vector<std::uint8_t>& out) {
 bool decode_request(std::span<const std::uint8_t> payload, Request& req) {
   Reader r(payload);
   std::uint8_t type = 0;
-  if (!r.u8(type) || type > static_cast<std::uint8_t>(MsgType::kHealth)) return false;
+  if (!r.u8(type) || type > static_cast<std::uint8_t>(MsgType::kPromote)) return false;
   req.type = static_cast<MsgType>(type);
   if (!r.u64(req.id)) return false;
   req.u = 0;
   req.v = 0;
   req.mode = ReadMode::kSnapshot;
   req.edges.clear();
+  req.replica_id = 0;
+  req.seq = 0;
+  req.offset = 0;
+  req.max_bytes = 0;
   std::uint8_t mode = 0;
   switch (req.type) {
     case MsgType::kIngest: {
@@ -326,11 +413,19 @@ bool decode_request(std::span<const std::uint8_t> payload, Request& req) {
       if (!r.u32(req.v) || !r.u8(mode) || mode > 1) return false;
       req.mode = static_cast<ReadMode>(mode);
       break;
+    case MsgType::kFetchWal:
+      if (!r.u64(req.replica_id) || !r.u64(req.seq) || !r.u64(req.offset) ||
+          !r.u32(req.max_bytes)) {
+        return false;
+      }
+      break;
     case MsgType::kPing:
     case MsgType::kComponentCount:
     case MsgType::kStats:
     case MsgType::kShutdown:
     case MsgType::kHealth:
+    case MsgType::kFetchCkpt:
+    case MsgType::kPromote:
       break;
   }
   return r.exhausted();
@@ -340,14 +435,18 @@ bool decode_response(std::span<const std::uint8_t> payload, Response& resp) {
   Reader r(payload);
   std::uint8_t type = 0;
   std::uint8_t status = 0;
-  if (!r.u8(type) || type > static_cast<std::uint8_t>(MsgType::kHealth)) return false;
+  if (!r.u8(type) || type > static_cast<std::uint8_t>(MsgType::kPromote)) return false;
   resp.type = static_cast<MsgType>(type);
   if (!r.u64(resp.id)) return false;
-  if (!r.u8(status) || status > static_cast<std::uint8_t>(Status::kError)) return false;
+  if (!r.u8(status) || status > static_cast<std::uint8_t>(Status::kNotPrimary)) {
+    return false;
+  }
   resp.status = static_cast<Status>(status);
   resp.value = 0;
   resp.stats = ServiceStats{};
   resp.health = ServiceHealth{};
+  resp.ckpt = CkptImage{};
+  resp.wal = WalChunk{};
   switch (resp.type) {
     case MsgType::kConnected:
     case MsgType::kComponentOf:
@@ -392,11 +491,40 @@ bool decode_response(std::span<const std::uint8_t> payload, Response& resp) {
       resp.health.wal_enabled = wal_enabled != 0;
       resp.health.wal_healthy = wal_healthy != 0;
       resp.health.checkpoint_enabled = ckpt_enabled != 0;
+      // Bytes past the fixed body are the tagged replication tail; absent
+      // from pre-replication daemons (the fields keep their zero defaults).
+      if (!r.exhausted() && !decode_health_tail(r, resp.health)) return false;
+      break;
+    }
+    case MsgType::kFetchCkpt: {
+      std::uint8_t has = 0;
+      std::uint32_t image_len = 0;
+      if (!r.u8(has) || has > 1 || !r.u64(resp.ckpt.seq) ||
+          !r.u64(resp.ckpt.wal_seq) || !r.u32(image_len) ||
+          !r.bytes(resp.ckpt.image, image_len)) {
+        return false;
+      }
+      resp.ckpt.has = has != 0;
+      break;
+    }
+    case MsgType::kFetchWal: {
+      std::uint8_t flags = 0;
+      std::uint32_t data_len = 0;
+      if (!r.u8(flags) || flags > 3 || !r.u64(resp.wal.seq) ||
+          !r.u64(resp.wal.offset) || !r.u64(resp.wal.segment_bytes) ||
+          !r.u64(resp.wal.active_seq) || !r.u32(data_len) ||
+          !r.bytes(resp.wal.data, data_len)) {
+        return false;
+      }
+      resp.wal.retired = (flags & 1u) != 0;
+      resp.wal.sealed = (flags & 2u) != 0;
+      resp.wal.ok = true;
       break;
     }
     case MsgType::kPing:
     case MsgType::kIngest:
     case MsgType::kShutdown:
+    case MsgType::kPromote:
       break;
   }
   return r.exhausted();

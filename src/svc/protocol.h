@@ -16,6 +16,9 @@
 //   kStats           (empty)
 //   kShutdown        (empty)
 //   kHealth          (empty)
+//   kFetchCkpt       (empty)
+//   kFetchWal        u64 replica_id | u64 seq | u64 offset | u32 max_bytes
+//   kPromote         (empty)
 //
 // Response bodies:
 //   kPing / kIngest / kShutdown   (empty)
@@ -46,7 +49,25 @@
 //                                 checkpoints_written, last_checkpoint_epoch,
 //                                 last_checkpoint_age_ms, wal_segments,
 //                                 wal_bytes (new fields append at the end so
-//                                 fixed-offset readers keep working)
+//                                 fixed-offset readers keep working); since
+//                                 the replication PR a *tagged* tail follows
+//                                 the fixed body: u8 format (= 1) |
+//                                 u16 field_count | field_count x
+//                                 (u16 tag | u64 value), tags from
+//                                 HealthField below. Unknown tags are
+//                                 skipped; a pre-replication daemon sends no
+//                                 tail and the fields decode as their zero
+//                                 defaults. Fixed-offset readers (the chaos
+//                                 harness's wire verifier) are unaffected —
+//                                 the first 93 bytes never move.
+//   kFetchCkpt                    u8 has | u64 ckpt_seq | u64 wal_seq |
+//                                 u32 image_len | image_len raw bytes (the
+//                                 newest valid checkpoint file, verbatim)
+//   kFetchWal                     u8 flags (bit0 retired, bit1 sealed) |
+//                                 u64 seq | u64 offset | u64 segment_bytes |
+//                                 u64 active_seq | u32 data_len | data_len
+//                                 raw segment bytes starting at offset
+//   kPromote                      (empty)
 //
 // The status byte carries the service's admission/backpressure verdict to
 // the client: a full ingest queue yields kShed — a definitive, visible
@@ -77,14 +98,21 @@ enum class MsgType : std::uint8_t {
   kStats = 5,
   kShutdown = 6,
   kHealth = 7,
+  // Replication (docs/REPLICATION.md): a replica bootstraps with kFetchCkpt,
+  // then streams raw segment bytes with kFetchWal; kPromote flips a replica
+  // into a writable primary for failover.
+  kFetchCkpt = 8,
+  kFetchWal = 9,
+  kPromote = 10,
 };
 
 enum class Status : std::uint8_t {
   kOk = 0,
-  kShed = 1,      // ingest queue full: retry later (backpressure)
-  kClosed = 2,    // service draining / shut down
-  kInvalid = 3,   // malformed request or out-of-range vertex
-  kError = 4,     // internal error
+  kShed = 1,        // ingest queue full: retry later (backpressure)
+  kClosed = 2,      // service draining / shut down
+  kInvalid = 3,     // malformed request or out-of-range vertex
+  kError = 4,       // internal error
+  kNotPrimary = 5,  // write (or replication-source op) sent to a replica
 };
 
 [[nodiscard]] const char* status_name(Status s);
@@ -126,6 +154,24 @@ enum class StatsField : std::uint16_t {
 /// recognized by its exact 104-byte length instead).
 inline constexpr std::uint8_t kStatsTaggedFormat = 1;
 
+/// Field tags for the tagged tail of the kHealth response body. Same wire
+/// discipline as StatsField: never renumber, only append; decoders skip
+/// unknown tags.
+enum class HealthField : std::uint16_t {
+  kRole = 1,               // 0 = primary, 1 = replica
+  kReplicaLagSeq = 2,      // segments the replica trails the primary by
+  kReplicaLagMs = 3,       // ms since the replica was last fully caught up
+  kReplicasConnected = 4,  // live registered replicas (primary side)
+};
+
+/// Marker byte opening the tagged kHealth tail (appended after the fixed
+/// 93-byte body; absent entirely from pre-replication daemons).
+inline constexpr std::uint8_t kHealthTaggedFormat = 1;
+
+/// Server-side clamp on one kFetchWal chunk; a client asking for more gets
+/// this much. Well under kMaxFrameBytes so the response header always fits.
+inline constexpr std::uint32_t kMaxWalChunkBytes = 1u << 22;  // 4 MiB
+
 /// Frames larger than this are rejected as malformed (protects the server
 /// from hostile or corrupt length prefixes).
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 26;  // 64 MiB
@@ -143,6 +189,12 @@ struct Request {
   vertex_t v = 0;
   ReadMode mode = ReadMode::kSnapshot;
   std::vector<Edge> edges;  // kIngest only
+  // kFetchWal only: which replica is asking (retention bookkeeping) and
+  // which byte range of which segment it wants.
+  std::uint64_t replica_id = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t max_bytes = 0;
 };
 
 struct Response {
@@ -152,6 +204,8 @@ struct Response {
   std::uint64_t value = 0;  // kConnected / kComponentOf / kComponentCount
   ServiceStats stats;       // kStats only
   ServiceHealth health;     // kHealth only
+  CkptImage ckpt;           // kFetchCkpt only
+  WalChunk wal;             // kFetchWal only
 };
 
 /// Appends the complete frame (length prefix + payload) for `req` to `out`.

@@ -1,0 +1,390 @@
+#include "svc/replica.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "svc/checkpoint.h"
+#include "svc/wal.h"
+
+namespace ecl::svc {
+
+namespace {
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+bool write_all_fd(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::write(fd, p, n);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+std::uint64_t mono_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::unique_ptr<Client> connect_primary(const ReplicatorOptions& opts,
+                                        std::string* err) {
+  return opts.unix_path.empty()
+             ? Client::connect_tcp(opts.host, opts.port, err, opts.client)
+             : Client::connect_unix(opts.unix_path, err, opts.client);
+}
+
+/// Installs a fetched checkpoint image as `<base>.NNNNNN` via the same
+/// crash-atomic protocol CheckpointStore::write uses: tmp file, fsync,
+/// rename into place, directory fsync. A crash mid-install leaves either no
+/// checkpoint (bootstrap reruns) or a complete one.
+bool install_ckpt_image(const std::string& base, const CkptImage& img,
+                        std::string* err) {
+  const std::string tmp = base + ".rtmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (err != nullptr) *err = "replica ckpt tmp open " + tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  if (!write_all_fd(fd, img.image.data(), img.image.size()) || ::fsync(fd) != 0) {
+    if (err != nullptr) *err = "replica ckpt tmp write " + tmp + ": " + std::strerror(errno);
+    ::close(fd);
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  const std::string target = numbered_path(base, img.seq);
+  if (::rename(tmp.c_str(), target.c_str()) != 0) {
+    if (err != nullptr) *err = "replica ckpt rename " + target + ": " + std::strerror(errno);
+    (void)::unlink(tmp.c_str());
+    return false;
+  }
+  if (!fsync_parent_dir(target)) {
+    if (err != nullptr) *err = "replica ckpt dir-sync " + target + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Replicator::bootstrap(const ReplicatorOptions& opts, std::string* err) {
+  // Resume from local state when any exists: a valid checkpoint, or a WAL
+  // mirror (a replica that bootstrapped from a checkpoint-less primary has
+  // only the latter). The service ctor recovers from both natively.
+  {
+    CheckpointStore store;
+    store.open(opts.checkpoint_path);
+    if (store.load_latest_valid().ok) return true;
+  }
+  if (!list_numbered_files(opts.wal_path).empty()) return true;
+
+  auto client = connect_primary(opts, err);
+  if (client == nullptr) return false;
+  CkptImage img;
+  Status st = Status::kOk;
+  if (!client->fetch_ckpt(img, &st)) {
+    if (err != nullptr) {
+      *err = std::string("replica bootstrap: kFetchCkpt failed (") +
+             status_name(st) + ")";
+    }
+    return false;
+  }
+  if (!img.has) return true;  // stream from segment 1; nothing was retired
+  if (!install_ckpt_image(opts.checkpoint_path, img, err)) return false;
+  // Validate what landed before declaring the bootstrap good — a truncated
+  // or corrupt image must fail here, not as a mysterious ctor throw.
+  CheckpointData data;
+  std::string verr;
+  if (!CheckpointStore::read_file(numbered_path(opts.checkpoint_path, img.seq), &data,
+                                  &verr)) {
+    if (err != nullptr) *err = "replica bootstrap: fetched checkpoint invalid: " + verr;
+    return false;
+  }
+  ECL_OBS_COUNTER_ADD("ecl.svc.replica.bootstraps", 1);
+  return true;
+}
+
+Replicator::Replicator(ConnectivityService& service, ReplicatorOptions opts)
+    : service_(service), opts_(std::move(opts)) {
+  if (opts_.replica_id == 0) {
+    // Stable enough for a retention-registry key: distinct per process,
+    // and across quick restarts of the same pid slot.
+    opts_.replica_id =
+        (static_cast<std::uint64_t>(::getpid()) << 32) ^ mono_ms() ^ 1u;
+  }
+}
+
+Replicator::~Replicator() { stop(); }
+
+bool Replicator::start(std::string* err) {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (started_) return true;
+  {
+    std::lock_guard<std::mutex> tick_lock(tick_mu_);
+    // Resume where the mirror ends. The service ctor already replayed (and
+    // torn-tail-truncated) every mirrored segment, so the highest file's
+    // size *is* the parse position — everything before it is applied.
+    const auto segments = list_numbered_files(opts_.wal_path);
+    if (!segments.empty()) {
+      cur_seq_ = segments.back().seq;
+      file_bytes_ = segments.back().bytes;
+    } else {
+      cur_seq_ = service_.checkpoint_covered_wal_seq() + 1;
+      file_bytes_ = 0;
+    }
+    magic_checked_ = file_bytes_ >= kWalMagicBytes;
+    parse_buf_.clear();
+    caught_up_at_ms_ = mono_ms();
+  }
+  publish_wal_stats();
+  ECL_OBS_GAUGE_SET("ecl.svc.role", 1.0);
+  task_id_ = exec_.submit_periodic(std::max(1, opts_.fetch_interval_ms),
+                                   [this] { fetch_tick(); });
+  if (task_id_ == 0) {
+    if (err != nullptr) *err = "replicator: executor refused the fetch task";
+    return false;
+  }
+  // First periodic firing is one period out; fetch immediately so a replica
+  // starts converging (and registering for retention) without that delay.
+  (void)exec_.submit([this] { fetch_tick(); });
+  started_ = true;
+  return true;
+}
+
+void Replicator::stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  (void)exec_.cancel(task_id_);
+  exec_.drain();  // joins the worker: no fetch_tick() can be running now
+  std::lock_guard<std::mutex> tick_lock(tick_mu_);
+  close_segment(/*fsync_it=*/true);
+  started_ = false;
+}
+
+void Replicator::fetch_tick() {
+  if (stopping_.load(std::memory_order_acquire)) return;
+  std::unique_lock<std::mutex> lock(tick_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // a slow previous firing still runs
+  fetch_rounds_.fetch_add(1, std::memory_order_relaxed);
+  // Drain until caught up (or stalled), bounded so one tick can't spin
+  // forever against a primary ingesting faster than we parse.
+  for (int i = 0; i < 256 && !stopping_.load(std::memory_order_acquire); ++i) {
+    if (!fetch_once()) break;
+  }
+}
+
+bool Replicator::ensure_client() {
+  if (client_ != nullptr) return true;
+  std::string err;
+  client_ = connect_primary(opts_, &err);
+  if (client_ == nullptr) {
+    ECL_OBS_COUNTER_ADD("ecl.svc.replica.connect_errors", 1);
+    return false;
+  }
+  return true;
+}
+
+bool Replicator::fetch_once() {
+  if (!ensure_client()) {
+    fetch_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  WalChunk chunk;
+  Status st = Status::kOk;
+  if (!client_->fetch_wal(opts_.replica_id, cur_seq_, file_bytes_,
+                          opts_.fetch_max_bytes, chunk, &st)) {
+    fetch_errors_.fetch_add(1, std::memory_order_relaxed);
+    ECL_OBS_COUNTER_ADD("ecl.svc.replica.fetch_errors", 1);
+    if (st == Status::kError) client_.reset();  // transport: reconnect lazily
+    return false;
+  }
+  if (chunk.retired) {
+    // We fell behind the primary's retention floor (e.g. this replica was
+    // dead past replica_hold_ms). Streaming can't resume from here.
+    return rebootstrap() && false;
+  }
+
+  if (!chunk.data.empty()) {
+    if (seg_fd_ < 0) {
+      const std::string path = numbered_path(opts_.wal_path, cur_seq_);
+      seg_fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+      if (seg_fd_ < 0) {
+        fetch_errors_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    // Mirror first, then parse: a record is applied only once its bytes are
+    // in the local segment file, so a replica crash replays everything it
+    // ever applied (same WAL-before-state discipline as the primary).
+    if (!write_all_fd(seg_fd_, chunk.data.data(), chunk.data.size())) {
+      fetch_errors_.fetch_add(1, std::memory_order_relaxed);
+      close_segment(/*fsync_it=*/false);
+      return false;
+    }
+    file_bytes_ += chunk.data.size();
+    parse_buf_.insert(parse_buf_.end(), chunk.data.begin(), chunk.data.end());
+    if (!drain_parse_buf()) {
+      // Framing/CRC mismatch: the mirror diverged from the primary (disk
+      // fault, or a primary that was itself replaced). Start over.
+      ECL_OBS_COUNTER_ADD("ecl.svc.replica.parse_errors", 1);
+      return rebootstrap() && false;
+    }
+    publish_wal_stats();
+  }
+
+  const bool segment_done =
+      chunk.sealed && file_bytes_ >= chunk.segment_bytes && magic_checked_;
+  if (segment_done) {
+    if (!parse_buf_.empty()) {
+      // A sealed segment always ends on a record boundary on the primary;
+      // leftover bytes mean our mirror of it diverged.
+      ECL_OBS_COUNTER_ADD("ecl.svc.replica.parse_errors", 1);
+      return rebootstrap() && false;
+    }
+    close_segment(/*fsync_it=*/true);
+    ++cur_seq_;
+    file_bytes_ = 0;
+    magic_checked_ = false;
+    publish_lag(chunk.active_seq, /*caught_up=*/false);
+    return true;  // keep draining into the next segment
+  }
+
+  const bool caught_up = cur_seq_ >= chunk.active_seq &&
+                         file_bytes_ >= chunk.segment_bytes;
+  publish_lag(chunk.active_seq, caught_up);
+  return !chunk.data.empty() && !caught_up;
+}
+
+bool Replicator::drain_parse_buf() {
+  std::size_t pos = 0;
+  const auto avail = [&] { return parse_buf_.size() - pos; };
+  if (!magic_checked_) {
+    if (avail() < kWalMagicBytes) {
+      parse_buf_.erase(parse_buf_.begin(),
+                       parse_buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+      return true;
+    }
+    if (std::memcmp(parse_buf_.data() + pos, wal_magic(), kWalMagicBytes) != 0) {
+      return false;
+    }
+    pos += kWalMagicBytes;
+    magic_checked_ = true;
+  }
+  while (avail() >= kWalRecordHeaderBytes) {
+    const std::uint32_t len = get_u32(parse_buf_.data() + pos);
+    const std::uint32_t want_crc = get_u32(parse_buf_.data() + pos + 4);
+    if (len == 0 || len % 8 != 0 || len > kMaxFrameBytes) return false;
+    if (avail() < kWalRecordHeaderBytes + len) break;  // partial record: wait
+    const std::uint8_t* payload = parse_buf_.data() + pos + kWalRecordHeaderBytes;
+    if (crc32(payload, len) != want_crc) return false;
+    std::vector<Edge> batch;
+    batch.reserve(len / 8);
+    for (std::uint32_t i = 0; i < len; i += 8) {
+      batch.emplace_back(get_u32(payload + i), get_u32(payload + i + 4));
+    }
+    service_.apply_replicated(std::move(batch));
+    applied_records_.fetch_add(1, std::memory_order_relaxed);
+    pos += kWalRecordHeaderBytes + len;
+  }
+  parse_buf_.erase(parse_buf_.begin(),
+                   parse_buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return true;
+}
+
+bool Replicator::rebootstrap() {
+  rebootstraps_.fetch_add(1, std::memory_order_relaxed);
+  ECL_OBS_COUNTER_ADD("ecl.svc.replica.rebootstraps", 1);
+  if (!ensure_client()) return false;
+  CkptImage img;
+  Status st = Status::kOk;
+  if (!client_->fetch_ckpt(img, &st) || !img.has) {
+    // A primary that retired our segment *must* have a checkpoint covering
+    // it; failing to serve one is transient (or a config error) — retry on
+    // the next tick.
+    fetch_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::string err;
+  if (!install_ckpt_image(opts_.checkpoint_path, img, &err)) {
+    std::fprintf(stderr, "[ecl::svc::replica] rebootstrap: %s\n", err.c_str());
+    return false;
+  }
+  CheckpointData data;
+  if (!CheckpointStore::read_file(numbered_path(opts_.checkpoint_path, img.seq), &data,
+                                  &err)) {
+    std::fprintf(stderr, "[ecl::svc::replica] rebootstrap: bad image: %s\n",
+                 err.c_str());
+    return false;
+  }
+  if (!service_.rebase_to_checkpoint(data)) {
+    std::fprintf(stderr, "[ecl::svc::replica] rebootstrap: rebase refused\n");
+    return false;
+  }
+  // The old mirror is strictly behind the new base; wipe it so a restart
+  // recovers from the fresh checkpoint plus whatever streams after it.
+  close_segment(/*fsync_it=*/false);
+  for (const auto& seg : list_numbered_files(opts_.wal_path)) {
+    (void)::unlink(seg.path.c_str());
+  }
+  (void)fsync_parent_dir(opts_.wal_path);
+  cur_seq_ = data.wal_seq + 1;
+  file_bytes_ = 0;
+  parse_buf_.clear();
+  magic_checked_ = false;
+  publish_wal_stats();
+  std::fprintf(stderr,
+               "[ecl::svc::replica] re-bootstrapped from checkpoint %llu "
+               "(wal_seq %llu)\n",
+               static_cast<unsigned long long>(img.seq),
+               static_cast<unsigned long long>(data.wal_seq));
+  return true;
+}
+
+void Replicator::close_segment(bool fsync_it) {
+  if (seg_fd_ < 0) return;
+  if (fsync_it) (void)::fsync(seg_fd_);
+  ::close(seg_fd_);
+  seg_fd_ = -1;
+}
+
+void Replicator::publish_wal_stats() {
+  std::uint64_t segs = 0;
+  std::uint64_t bytes = 0;
+  for (const auto& f : list_numbered_files(opts_.wal_path)) {
+    ++segs;
+    bytes += f.bytes;
+  }
+  service_.set_replica_wal_stats(segs, bytes);
+}
+
+void Replicator::publish_lag(std::uint64_t active_seq, bool caught_up) {
+  if (caught_up) {
+    caught_up_at_ms_ = mono_ms();
+    service_.set_replication_lag(0, 0);
+    return;
+  }
+  const std::uint64_t lag_seq = active_seq > cur_seq_ ? active_seq - cur_seq_ : 0;
+  service_.set_replication_lag(lag_seq, mono_ms() - caught_up_at_ms_);
+}
+
+}  // namespace ecl::svc

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <utility>
 #include <vector>
@@ -46,6 +47,15 @@ void record_op_latency(MsgType type, std::uint64_t us) {
       break;
     case MsgType::kHealth:
       ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.health", bounds(), us);
+      break;
+    case MsgType::kFetchCkpt:
+      ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.fetch_ckpt", bounds(), us);
+      break;
+    case MsgType::kFetchWal:
+      ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.fetch_wal", bounds(), us);
+      break;
+    case MsgType::kPromote:
+      ECL_OBS_HISTOGRAM_RECORD("ecl.svc.op_us.promote", bounds(), us);
       break;
     case MsgType::kShutdown:
       break;
@@ -306,6 +316,12 @@ Response Server::dispatch(const Request& req) {
     case MsgType::kShutdown:
       break;
     case MsgType::kIngest:
+      if (service_.is_replica()) {
+        // A definitive verdict, not kShed: retrying a write against a
+        // replica can never succeed — the client must redirect.
+        resp.status = Status::kNotPrimary;
+        break;
+      }
       switch (service_.submit(req.edges)) {
         case Admission::kAccepted:
           break;
@@ -355,6 +371,41 @@ Response Server::dispatch(const Request& req) {
     case MsgType::kHealth:
       resp.health = service_.health();
       break;
+    case MsgType::kFetchCkpt: {
+      if (service_.is_replica()) {
+        resp.status = Status::kNotPrimary;  // replicas don't chain (yet)
+        break;
+      }
+      resp.ckpt = service_.fetch_checkpoint_image();
+      // The image travels in one frame; a checkpoint too large for it
+      // (≈64 MiB of labels) is a config error surfaced as kError, never a
+      // torn frame the peer would close the connection over.
+      if (resp.ckpt.image.size() > kMaxFrameBytes - 64) {
+        resp.ckpt = CkptImage{};
+        resp.status = Status::kError;
+      }
+      break;
+    }
+    case MsgType::kFetchWal: {
+      if (service_.is_replica()) {
+        resp.status = Status::kNotPrimary;
+        break;
+      }
+      const std::uint32_t capped = std::min(req.max_bytes, kMaxWalChunkBytes);
+      resp.wal = service_.fetch_wal_chunk(req.replica_id, req.seq, req.offset, capped);
+      if (!resp.wal.ok) {
+        resp.wal = WalChunk{};
+        resp.status = Status::kError;
+      }
+      break;
+    }
+    case MsgType::kPromote: {
+      // Routed through the daemon's hook when set (it stops the Replicator
+      // before flipping the service); in-process tests promote directly.
+      const bool ok = opts_.promote ? opts_.promote() : service_.promote();
+      if (!ok) resp.status = Status::kError;
+      break;
+    }
   }
   return resp;
 }

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -77,6 +78,14 @@ struct ServerOptions {
   /// served request is offered with its per-phase latency breakdown; the log
   /// applies its own threshold. Null disables.
   obs::RequestLog* slow_log = nullptr;
+  /// kPromote handler. The daemon sets this to a hook that stops its
+  /// Replicator *before* calling ConnectivityService::promote() (the
+  /// service assumes no more bytes land in the WAL mirror once promoted).
+  /// Unset, kPromote calls service.promote() directly — fine for in-process
+  /// tests that own no Replicator. Runs inline on an I/O thread; promotion
+  /// is rare and bounded (one tail truncate + WAL open), so briefly
+  /// occupying one loop is acceptable.
+  std::function<bool()> promote;
 };
 
 /// Connection-level telemetry sample (also appended to kStats as tagged

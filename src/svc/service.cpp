@@ -1,6 +1,11 @@
 #include "svc/service.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
@@ -38,6 +43,7 @@ SnapshotPtr make_identity_snapshot(vertex_t n) {
 
 ConnectivityService::ConnectivityService(vertex_t n, ServiceOptions opts)
     : num_vertices_(n), opts_(opts), live_(n), queue_(opts.queue_capacity) {
+  replica_.store(opts_.replica, std::memory_order_release);
   snapshot_.store(make_identity_snapshot(n));
   init_durability();
   start_threads();
@@ -48,6 +54,7 @@ ConnectivityService::ConnectivityService(const Graph& seed, ServiceOptions opts)
       opts_(opts),
       live_(seed),
       queue_(opts.queue_capacity) {
+  replica_.store(opts_.replica, std::memory_order_release);
   for (vertex_t v = 0; v < num_vertices_; ++v) {
     for (const vertex_t u : seed.neighbors(v)) {
       if (u < v) log_.emplace_back(v, u);
@@ -129,6 +136,8 @@ void ConnectivityService::init_durability() {
     }
   }
 
+  ckpt_covered_seq_ = covered_seq;  // ctor: threads not running, no lock
+
   if (opts_.wal_path.empty()) return;
   std::string err;
   if (!SegmentedWal::adopt_legacy(opts_.wal_path, &err)) {
@@ -155,6 +164,21 @@ void ConnectivityService::init_durability() {
     // Synchronous: threads are not running yet, and the first published
     // snapshot must already reflect everything the WAL recovered.
     run_compaction();
+  }
+  if (opts_.replica) {
+    // A replica never appends: the Replicator mirrors the primary's raw
+    // segment bytes into these same files, and opening one for writing
+    // here would stamp a header into (or fsync-race) the mirror. Recovery
+    // above already replayed everything; just surface the mirror geometry.
+    std::uint64_t segs = 0;
+    std::uint64_t bytes = 0;
+    for (const auto& f : list_numbered_files(opts_.wal_path)) {
+      ++segs;
+      bytes += f.bytes;
+    }
+    wal_segments_.store(segs, std::memory_order_relaxed);
+    wal_bytes_.store(bytes, std::memory_order_relaxed);
+    return;
   }
   SegmentedWalOptions sopts;
   sopts.wal = opts_.wal;
@@ -216,6 +240,14 @@ Admission ConnectivityService::submit(EdgeBatch batch) {
   if (degraded_.load(std::memory_order_acquire)) {
     // Read-only mode: shed instead of accepting writes we can neither
     // durably log nor (if the worker died) ever apply.
+    shed_batches_.fetch_add(1, std::memory_order_relaxed);
+    ECL_OBS_COUNTER_ADD("ecl.svc.ingest.shed", 1);
+    return Admission::kShed;
+  }
+  if (replica_.load(std::memory_order_acquire)) {
+    // Replicas take writes only from the replication stream. The server
+    // maps this to Status::kNotPrimary before even calling submit(); this
+    // guard covers in-process callers.
     shed_batches_.fetch_add(1, std::memory_order_relaxed);
     ECL_OBS_COUNTER_ADD("ecl.svc.ingest.shed", 1);
     return Admission::kShed;
@@ -353,6 +385,11 @@ void ConnectivityService::compact_loop() {
 
 void ConnectivityService::maybe_checkpoint(bool force, bool exiting) {
   if (opts_.checkpoint_path.empty()) return;
+  // Replicas never checkpoint: their durable state is the mirrored WAL +
+  // the bootstrap checkpoint, and a checkpoint cut would rotate a WAL this
+  // service does not own. Promotion flips replica_ and the next compaction
+  // cycle resumes checkpointing naturally.
+  if (replica_.load(std::memory_order_acquire)) return;
   const std::uint64_t applied = applied_edges_.load(std::memory_order_acquire);
   const bool progressed =
       !has_ckpt_.load(std::memory_order_acquire) ||
@@ -431,10 +468,11 @@ bool ConnectivityService::do_checkpoint() {
     std::lock_guard<std::mutex> lock(log_mu_);
     const std::uint64_t drop = snap->watermark - base_watermark_;
     log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(drop));
+    base_labels_ = std::move(data.labels);
+    base_watermark_ = snap->watermark;
+    ckpt_covered_seq_ = cut_seq;
     ECL_OBS_GAUGE_SET("ecl.svc.log.edges", static_cast<double>(log_.size()));
   }
-  base_labels_ = std::move(data.labels);
-  base_watermark_ = snap->watermark;
 
   has_ckpt_.store(true, std::memory_order_release);
   ckpt_written_.fetch_add(1, std::memory_order_release);
@@ -446,11 +484,15 @@ bool ConnectivityService::do_checkpoint() {
                            static_cast<std::uint64_t>(t.millis()));
 
   // Retention: retire segments the *oldest retained* checkpoint covers, so
-  // a fallback load (corrupt newest checkpoint) never misses a segment.
-  const std::uint64_t floor = ckpt_store_.retention_floor_wal_seq();
+  // a fallback load (corrupt newest checkpoint) never misses a segment —
+  // further lowered to the slowest live replica's fetch position, so a
+  // lagging replica is never cut off mid-stream (a replica unseen past
+  // replica_hold_ms stops holding the floor and re-bootstraps instead).
+  const std::uint64_t floor =
+      std::min(ckpt_store_.retention_floor_wal_seq(), replica_fetch_floor());
   {
     std::lock_guard<std::mutex> lock(wal_mu_);
-    if (floor > 0) (void)wal_.retire_through(floor);
+    if (floor > 0 && floor != UINT64_MAX) (void)wal_.retire_through(floor);
     wal_segments_.store(wal_.segment_count(), std::memory_order_relaxed);
     wal_bytes_.store(wal_.total_bytes(), std::memory_order_relaxed);
   }
@@ -492,20 +534,22 @@ void ConnectivityService::run_compaction() {
     // log_ holds only the suffix since the last checkpoint; the watermark
     // stays cumulative so staleness arithmetic against applied_edges_ holds.
     watermark = base_watermark_ + edges.size();
+    // Seed the graph with the checkpointed components: one (v, label) edge
+    // per non-root vertex reproduces them without replaying their history —
+    // compaction cost is O(n + tail), not O(lifetime ingest). Folded under
+    // log_mu_ because on a replica the Replicator's rebase_to_checkpoint()
+    // swaps base_labels_ out from its own thread.
+    if (!base_labels_.empty()) {
+      for (vertex_t v = 0; v < num_vertices_; ++v) {
+        if (base_labels_[v] != v) edges.emplace_back(v, base_labels_[v]);
+      }
+    }
   }
 
   auto snap = std::make_shared<Snapshot>();
   snap->epoch = snapshot_.load(std::memory_order_acquire)->epoch + 1;
   snap->watermark = watermark;
   if (num_vertices_ > 0) {
-    // Seed the graph with the checkpointed components: one (v, label) edge
-    // per non-root vertex reproduces them without replaying their history —
-    // compaction cost is O(n + tail), not O(lifetime ingest).
-    if (!base_labels_.empty()) {
-      for (vertex_t v = 0; v < num_vertices_; ++v) {
-        if (base_labels_[v] != v) edges.emplace_back(v, base_labels_[v]);
-      }
-    }
     const Graph g = build_graph(num_vertices_, edges);
     EclOptions eopts;
     eopts.num_threads = opts_.num_threads;
@@ -661,7 +705,280 @@ ServiceHealth ConnectivityService::health() const {
           : 0;
   h.wal_segments = wal_segments_.load(std::memory_order_relaxed);
   h.wal_bytes = wal_bytes_.load(std::memory_order_relaxed);
+  h.replica = replica_.load(std::memory_order_acquire);
+  h.replica_lag_seq = repl_lag_seq_.load(std::memory_order_relaxed);
+  h.replica_lag_ms = repl_lag_ms_.load(std::memory_order_relaxed);
+  h.replicas_connected = replicas_connected_.load(std::memory_order_relaxed);
   return h;
+}
+
+// ------------------------------------------------------- replication ----
+
+void ConnectivityService::apply_replicated(EdgeBatch batch) {
+  // Mirrors ingest_loop_body()'s apply path so every downstream invariant —
+  // compaction triggers, staleness gauges, flush()/health() batch
+  // arithmetic — holds for replicated writes too.
+  accepted_batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t before = batch.size();
+  std::erase_if(batch, [this](const Edge& e) {
+    return e.first >= num_vertices_ || e.second >= num_vertices_;
+  });
+  if (const std::size_t invalid = before - batch.size(); invalid > 0) {
+    ECL_OBS_COUNTER_ADD("ecl.svc.ingest.invalid_edges", invalid);
+  }
+  live_.add_edges(batch.data(), batch.size());
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_.insert(log_.end(), batch.begin(), batch.end());
+    applied_edges_.fetch_add(batch.size(), std::memory_order_release);
+  }
+  wal_records_.fetch_add(1, std::memory_order_relaxed);
+  ECL_OBS_COUNTER_ADD("ecl.svc.replica.applied_edges", batch.size());
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    applied_batches_.fetch_add(1, std::memory_order_release);
+  }
+  progress_cv_.notify_all();
+  compact_cv_.notify_all();
+}
+
+void ConnectivityService::set_replication_lag(std::uint64_t lag_seq,
+                                              std::uint64_t lag_ms) {
+  repl_lag_seq_.store(lag_seq, std::memory_order_relaxed);
+  repl_lag_ms_.store(lag_ms, std::memory_order_relaxed);
+  ECL_OBS_GAUGE_SET("ecl.svc.replica.lag_seq", static_cast<double>(lag_seq));
+  ECL_OBS_GAUGE_SET("ecl.svc.replica.lag_ms", static_cast<double>(lag_ms));
+}
+
+void ConnectivityService::set_replica_wal_stats(std::uint64_t segments,
+                                                std::uint64_t bytes) {
+  wal_segments_.store(segments, std::memory_order_relaxed);
+  wal_bytes_.store(bytes, std::memory_order_relaxed);
+}
+
+bool ConnectivityService::rebase_to_checkpoint(const CheckpointData& data) {
+  if (!replica_.load(std::memory_order_acquire)) return false;
+  if (data.n != num_vertices_) return false;
+  // Folding the checkpoint's components into the live union-find is safe
+  // even though some may already be present: unions are idempotent, and
+  // connectivity on a replica only ever grows.
+  std::vector<Edge> fold;
+  for (vertex_t v = 0; v < num_vertices_; ++v) {
+    if (data.labels[v] != v) fold.emplace_back(v, data.labels[v]);
+  }
+  live_.add_edges(fold.data(), fold.size());
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    if (data.watermark < base_watermark_) return false;
+    base_labels_ = data.labels;
+    base_watermark_ = data.watermark;
+    log_.clear();
+    const std::uint64_t applied = applied_edges_.load(std::memory_order_acquire);
+    applied_edges_.store(std::max(applied, data.watermark),
+                         std::memory_order_release);
+    ckpt_covered_seq_ = data.wal_seq;
+  }
+  has_ckpt_.store(true, std::memory_order_release);
+  last_ckpt_epoch_.store(data.epoch, std::memory_order_relaxed);
+  last_ckpt_watermark_.store(data.watermark, std::memory_order_relaxed);
+  last_ckpt_ms_.store(now_ms(), std::memory_order_relaxed);
+  ECL_OBS_COUNTER_ADD("ecl.svc.replica.rebases", 1);
+  // The next compaction republishes a snapshot covering the new base (epoch
+  // stays monotone; publishing the checkpoint labels directly could move
+  // the epoch backwards relative to what readers already saw).
+  compact_cv_.notify_all();
+  return true;
+}
+
+std::uint64_t ConnectivityService::checkpoint_covered_wal_seq() {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return ckpt_covered_seq_;
+}
+
+std::uint64_t ConnectivityService::replica_fetch_floor() {
+  const std::uint64_t now = now_ms();
+  const std::uint64_t hold =
+      static_cast<std::uint64_t>(std::max(0, opts_.replica_hold_ms));
+  std::uint64_t floor = UINT64_MAX;
+  std::size_t live = 0;
+  {
+    std::lock_guard<std::mutex> lock(replicas_mu_);
+    for (auto it = replicas_.begin(); it != replicas_.end();) {
+      if (now - it->second.last_seen_ms > hold) {
+        it = replicas_.erase(it);  // dead replica: stop holding retention
+        continue;
+      }
+      ++live;
+      const std::uint64_t need = it->second.fetch_seq;
+      floor = std::min(floor, need > 0 ? need - 1 : 0);
+      ++it;
+    }
+  }
+  replicas_connected_.store(live, std::memory_order_relaxed);
+  ECL_OBS_GAUGE_SET("ecl.svc.replica.connected", static_cast<double>(live));
+  return floor;
+}
+
+CkptImage ConnectivityService::fetch_checkpoint_image() const {
+  CkptImage out;
+  if (opts_.checkpoint_path.empty()) return out;
+  // Checkpoint files are written tmp -> rename and only ever unlinked, never
+  // modified in place, so a successfully opened file is immutable. Retry by
+  // listing again if the newest file vanishes under us (keep-2 rotation).
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto files = list_numbered_files(opts_.checkpoint_path);
+    bool raced = false;
+    for (auto it = files.rbegin(); it != files.rend(); ++it) {
+      CheckpointData data;
+      std::string err;
+      if (!CheckpointStore::read_file(it->path, &data, &err)) {
+        struct stat st{};
+        if (::stat(it->path.c_str(), &st) != 0 && errno == ENOENT) {
+          raced = true;
+          break;  // rotation won; take a fresh listing
+        }
+        continue;  // genuinely invalid file: fall back to the next-newest
+      }
+      const int fd = ::open(it->path.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd < 0) {
+        raced = errno == ENOENT;
+        if (raced) break;
+        continue;
+      }
+      struct stat st{};
+      if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        continue;
+      }
+      std::vector<std::uint8_t> image(static_cast<std::size_t>(st.st_size));
+      std::size_t done = 0;
+      bool read_ok = true;
+      while (done < image.size()) {
+        const ssize_t r = ::read(fd, image.data() + done, image.size() - done);
+        if (r < 0) {
+          if (errno == EINTR) continue;
+          read_ok = false;
+          break;
+        }
+        if (r == 0) break;
+        done += static_cast<std::size_t>(r);
+      }
+      ::close(fd);
+      if (!read_ok || done != image.size()) continue;
+      out.has = true;
+      out.seq = it->seq;
+      out.wal_seq = data.wal_seq;
+      out.image = std::move(image);
+      ECL_OBS_COUNTER_ADD("ecl.svc.replica.ckpt_serves", 1);
+      return out;
+    }
+    if (!raced) break;
+  }
+  return out;
+}
+
+WalChunk ConnectivityService::fetch_wal_chunk(std::uint64_t replica_id,
+                                              std::uint64_t seq, std::uint64_t offset,
+                                              std::uint32_t max_bytes) {
+  WalChunk out;
+  out.seq = seq;
+  out.offset = offset;
+  if (opts_.wal_path.empty() || seq == 0) return out;
+  std::uint64_t active = 0;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    active = wal_.active_seq();
+  }
+  if (replica_id != 0) {
+    // Register/refresh before reading: retention must know about this
+    // replica before the next checkpoint's retirement pass runs. Stale
+    // peers are pruned here too (not just on the checkpoint path) so the
+    // connected count stays honest on a primary that never checkpoints.
+    const std::uint64_t now = now_ms();
+    const auto hold = static_cast<std::uint64_t>(
+        opts_.replica_hold_ms > 0 ? opts_.replica_hold_ms : 0);
+    std::lock_guard<std::mutex> lock(replicas_mu_);
+    auto& peer = replicas_[replica_id];
+    peer.fetch_seq = seq;
+    peer.last_seen_ms = now;
+    for (auto it = replicas_.begin(); it != replicas_.end();) {
+      if (now - it->second.last_seen_ms > hold) {
+        it = replicas_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    replicas_connected_.store(replicas_.size(), std::memory_order_release);
+    ECL_OBS_GAUGE_SET("ecl.svc.replica.connected",
+                      static_cast<double>(replicas_.size()));
+  }
+  // File I/O deliberately outside wal_mu_: a slow disk serving a replica
+  // must not stall ingest appends. WalSegmentReader is rotation/retirement
+  // safe on its own (satellite: open-by-name + ENOENT retry).
+  auto chunk = WalSegmentReader::read(opts_.wal_path, seq, offset, max_bytes);
+  if (!chunk.ok) return out;  // server answers kError
+  out.ok = true;
+  out.retired = chunk.retired;
+  out.sealed = chunk.exists && seq < active;
+  out.segment_bytes = chunk.segment_bytes;
+  out.active_seq = active;
+  out.data = std::move(chunk.data);
+  ECL_OBS_COUNTER_ADD("ecl.svc.replica.wal_bytes_served", out.data.size());
+  return out;
+}
+
+bool ConnectivityService::promote(std::string* err) {
+  std::lock_guard<std::mutex> promote_lock(promote_mu_);
+  if (!replica_.load(std::memory_order_acquire)) return true;  // idempotent
+  if (stopped_.load(std::memory_order_acquire)) {
+    if (err != nullptr) *err = "promote: service is stopped";
+    return false;
+  }
+  std::uint64_t covered = 0;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    covered = ckpt_covered_seq_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (!opts_.wal_path.empty()) {
+      // The mirror's final segment may end mid-record (the Replicator was
+      // stopped between chunks). Those bytes were never parsed or applied,
+      // so cutting them loses nothing — and the WAL must end on a record
+      // boundary before it can take appends again.
+      const auto segments = list_numbered_files(opts_.wal_path);
+      if (!segments.empty()) {
+        auto rep = WriteAheadLog::replay_and_truncate(segments.back().path,
+                                                      /*truncate_tail=*/true);
+        if (!rep.ok || rep.truncate_failed) {
+          if (err != nullptr) {
+            *err = "promote: mirrored WAL tail unusable: " + rep.error;
+          }
+          return false;
+        }
+      }
+      SegmentedWalOptions sopts;
+      sopts.wal = opts_.wal;
+      sopts.segment_bytes = opts_.wal_segment_bytes;
+      std::string werr;
+      if (!wal_.open(opts_.wal_path, sopts, covered + 1, &werr)) {
+        if (err != nullptr) *err = "promote: WAL open failed: " + werr;
+        return false;
+      }
+      wal_segments_.store(wal_.segment_count(), std::memory_order_relaxed);
+      wal_bytes_.store(wal_.total_bytes(), std::memory_order_relaxed);
+    }
+  }
+  replica_.store(false, std::memory_order_release);
+  set_replication_lag(0, 0);
+  ECL_OBS_COUNTER_ADD("ecl.svc.replica.promotions", 1);
+  ECL_OBS_GAUGE_SET("ecl.svc.role", 0.0);
+  std::fprintf(stderr, "[ecl::svc] promoted to primary (wal tail seq >= %llu)\n",
+               static_cast<unsigned long long>(covered + 1));
+  // Wake the compaction thread: checkpointing (disabled while a replica)
+  // resumes on its next cycle.
+  compact_cv_.notify_all();
+  return true;
 }
 
 }  // namespace ecl::svc

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -85,6 +86,16 @@ struct ServiceOptions {
   /// Minimum period between automatic checkpoints (0 = only explicit
   /// checkpoint_now() / the final checkpoint on clean stop()).
   int checkpoint_interval_ms = 5000;
+  /// Replica mode (docs/REPLICATION.md): recover from the local checkpoint
+  /// and WAL mirror exactly like a primary, but never open the WAL for
+  /// appending (a Replicator streams the primary's segment bytes into it),
+  /// never write checkpoints, and shed submit() until promote().
+  bool replica = false;
+  /// Primary side: a registered replica unseen for longer than this stops
+  /// holding the WAL retention floor (a dead replica must not wedge
+  /// segment retirement forever). It re-bootstraps from a checkpoint when
+  /// it comes back.
+  int replica_hold_ms = 10000;
 };
 
 /// Which consistency a read wants (docs/SERVICE.md "Consistency model").
@@ -144,6 +155,42 @@ struct ServiceHealth {
   std::uint64_t last_checkpoint_age_ms = 0;   // since last write/load; 0 if none
   std::uint64_t wal_segments = 0;             // retained segments, active incl.
   std::uint64_t wal_bytes = 0;                // on-disk bytes across them
+  // Replication (the tagged kHealth tail; zero defaults when talking to a
+  // pre-replication daemon).
+  bool replica = false;                  // serving as a read-only replica
+  std::uint64_t replica_lag_seq = 0;     // segments behind the primary
+  std::uint64_t replica_lag_ms = 0;      // ms since last fully caught up
+  std::uint64_t replicas_connected = 0;  // live registered replicas (primary)
+};
+
+/// kFetchCkpt payload: the primary's newest valid checkpoint as a raw file
+/// image, plus where it sits in the checkpoint/WAL chains. `has == false`
+/// (and empty image) when the primary has no valid checkpoint — the replica
+/// then streams the WAL from segment 1, which is complete because a primary
+/// that never checkpointed never retired anything.
+struct CkptImage {
+  bool has = false;
+  std::uint64_t seq = 0;      // checkpoint file sequence number
+  std::uint64_t wal_seq = 0;  // WAL segments <= this are covered by it
+  std::vector<std::uint8_t> image;
+};
+
+/// kFetchWal payload: one bounded chunk of raw segment bytes. `retired`
+/// means the requested segment is gone on the primary (the replica fell
+/// behind retention and must re-bootstrap from a checkpoint); `sealed`
+/// means no more bytes will ever appear in this segment, so a reader that
+/// has consumed segment_bytes of it advances to seq + 1. `ok` is the
+/// serving side's I/O verdict and never travels on the wire — the server
+/// answers !ok with Status::kError.
+struct WalChunk {
+  bool ok = false;
+  bool retired = false;
+  bool sealed = false;
+  std::uint64_t seq = 0;            // echoed segment sequence
+  std::uint64_t offset = 0;         // echoed start offset
+  std::uint64_t segment_bytes = 0;  // size of that segment at read time
+  std::uint64_t active_seq = 0;     // primary's active (highest) segment
+  std::vector<std::uint8_t> data;
 };
 
 class ConnectivityService {
@@ -238,6 +285,63 @@ class ConnectivityService {
   /// Edges recovered from the WAL by this constructor (0 without a WAL).
   [[nodiscard]] std::uint64_t replayed_edges() const { return replayed_edges_; }
 
+  // --- replication (docs/REPLICATION.md) -----------------------------------
+
+  /// True while serving as a read-only replica (submit() sheds; the server
+  /// maps writes to Status::kNotPrimary before even calling submit()).
+  [[nodiscard]] bool is_replica() const {
+    return replica_.load(std::memory_order_acquire);
+  }
+
+  /// Replica -> primary failover: truncates any half-fetched record off the
+  /// mirrored WAL tail (those bytes were never parsed, so nothing applied is
+  /// lost), opens the WAL for appending at that tail, and starts accepting
+  /// submit(). Checkpointing (and with it local segment retirement) resumes
+  /// on the next compaction cycle. The caller must stop the Replicator
+  /// first — promote() assumes no more bytes are landing in the mirror.
+  /// Idempotent: true immediately on an already-primary service.
+  [[nodiscard]] bool promote(std::string* err = nullptr);
+
+  /// Replica side: applies one primary WAL record's edges (the Replicator
+  /// calls this after mirroring the bytes locally). Follows the ingest
+  /// worker's apply path — live union-find, edge log, batch accounting —
+  /// so compaction, staleness, and health arithmetic hold unchanged.
+  void apply_replicated(EdgeBatch batch);
+
+  /// Replica side: lag sample pushed by the Replicator after each fetch
+  /// round (surfaced through health() and the Prometheus exporter).
+  void set_replication_lag(std::uint64_t lag_seq, std::uint64_t lag_ms);
+
+  /// Replica side: local WAL mirror geometry pushed by the Replicator, so
+  /// stats()/health() wal_segments/wal_bytes stay meaningful on replicas.
+  void set_replica_wal_stats(std::uint64_t segments, std::uint64_t bytes);
+
+  /// Replica side: rebases onto a newer checkpoint fetched from the primary
+  /// after falling behind retention. Folds the checkpoint's labels into the
+  /// live structure (monotone-safe: connectivity only grows), replaces the
+  /// compaction base, clears the edge log, and advances the watermark.
+  /// False when not a replica, on a vertex-count mismatch, or if the
+  /// checkpoint would move the watermark backwards.
+  [[nodiscard]] bool rebase_to_checkpoint(const CheckpointData& data);
+
+  /// wal_seq covered by the checkpoint this service recovered from (0 when
+  /// none); the Replicator resumes streaming at the next segment.
+  [[nodiscard]] std::uint64_t checkpoint_covered_wal_seq();
+
+  /// Primary serving side of kFetchCkpt: the newest valid checkpoint as a
+  /// raw file image. Reads by name with retry, so the compaction thread
+  /// rotating checkpoints concurrently is harmless. has == false when
+  /// checkpoints are disabled, none exists yet, or every file failed
+  /// validation (the replica streams from segment 1 then).
+  [[nodiscard]] CkptImage fetch_checkpoint_image() const;
+
+  /// Primary serving side of kFetchWal: registers/refreshes the replica in
+  /// the retention registry, then reads up to max_bytes of the segment via
+  /// WalSegmentReader (rotation/retirement safe). replica_id 0 reads
+  /// without registering.
+  [[nodiscard]] WalChunk fetch_wal_chunk(std::uint64_t replica_id, std::uint64_t seq,
+                                         std::uint64_t offset, std::uint32_t max_bytes);
+
  private:
   void start_threads();
   void ingest_loop();
@@ -276,9 +380,12 @@ class ConnectivityService {
 
   // Checkpoint base: components already folded into the last checkpoint.
   // Compaction seeds its graph from these labels instead of replaying the
-  // full history. Touched only by the compaction thread and the ctor.
+  // full history. Guarded by log_mu_ since the replication PR: on a replica
+  // the Replicator's rebase_to_checkpoint() replaces the base from its own
+  // thread while the compaction thread reads it.
   std::vector<vertex_t> base_labels_;
   std::uint64_t base_watermark_ = 0;
+  std::uint64_t ckpt_covered_seq_ = 0;  // wal_seq of the recovered checkpoint
 
   std::atomic<SnapshotPtr> snapshot_;
 
@@ -328,6 +435,25 @@ class ConnectivityService {
   std::atomic<bool> has_ckpt_{false};             // written or loaded one
   std::atomic<std::uint64_t> wal_segments_{0};
   std::atomic<std::uint64_t> wal_bytes_{0};
+
+  // Replication state. replica_ flips exactly once (promote, serialized by
+  // promote_mu_); the registry is primary-side bookkeeping mapping each
+  // replica id to the segment it is currently fetching, so retention never
+  // retires a segment a live replica still needs.
+  std::atomic<bool> replica_{false};
+  std::mutex promote_mu_;
+  std::atomic<std::uint64_t> repl_lag_seq_{0};
+  std::atomic<std::uint64_t> repl_lag_ms_{0};
+  std::atomic<std::uint64_t> replicas_connected_{0};
+  struct ReplicaPeer {
+    std::uint64_t fetch_seq = 0;     // segment it last asked for
+    std::uint64_t last_seen_ms = 0;  // now_ms() of that request
+  };
+  std::mutex replicas_mu_;
+  std::unordered_map<std::uint64_t, ReplicaPeer> replicas_;
+  /// Prunes peers unseen for replica_hold_ms and returns the highest seq
+  /// retirable without cutting a live replica off (~0 when none are live).
+  [[nodiscard]] std::uint64_t replica_fetch_floor();
 
   // Declared last so it is destroyed first: ~Executor drains, so no task
   // can still be touching the members above while they are torn down.

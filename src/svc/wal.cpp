@@ -527,6 +527,77 @@ bool SegmentedWal::append(const std::vector<Edge>& batch) {
   return true;
 }
 
+// -------------------------------------------------- WalSegmentReader ----
+
+const char* wal_magic() { return kMagic; }
+
+SegmentChunk WalSegmentReader::read(const std::string& base, std::uint64_t seq,
+                                    std::uint64_t offset, std::uint32_t max_bytes) {
+  SegmentChunk out;
+  const std::string path = numbered_path(base, seq);
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno != ENOENT) {
+        out.error = "wal chunk open " + path + ": " + std::strerror(errno);
+        return out;
+      }
+      // ENOENT is ambiguous: the segment may be retired (writer unlinked
+      // it), not created yet (reader ahead of writer), or we raced the
+      // rename/creation window. Consult the segment index to classify, and
+      // retry the open once if the listing claims the file exists — a
+      // listing taken *after* the failed open that still shows the segment
+      // means the open itself raced.
+      const auto listed = list_numbered_files(base);
+      bool present = false;
+      bool newer = false;
+      for (const auto& f : listed) {
+        if (f.seq == seq) present = true;
+        if (f.seq > seq) newer = true;
+      }
+      if (present && attempt < 2) continue;
+      out.ok = true;
+      out.exists = false;
+      // The writer only ever unlinks segments below its active one, so a
+      // missing segment with a higher-numbered sibling was retired; a
+      // missing segment with nothing newer just hasn't been written yet.
+      out.retired = newer;
+      return out;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      out.error = "wal chunk fstat " + path + ": " + std::strerror(errno);
+      ::close(fd);
+      return out;
+    }
+    out.segment_bytes = static_cast<std::uint64_t>(st.st_size);
+    if (offset < out.segment_bytes && max_bytes > 0) {
+      const std::uint64_t want = std::min<std::uint64_t>(
+          max_bytes, out.segment_bytes - offset);
+      out.data.resize(static_cast<std::size_t>(want));
+      std::size_t done = 0;
+      while (done < out.data.size()) {
+        const ssize_t r = ::pread(fd, out.data.data() + done, out.data.size() - done,
+                                  static_cast<off_t>(offset + done));
+        if (r < 0) {
+          if (errno == EINTR) continue;
+          out.error = "wal chunk pread " + path + ": " + std::strerror(errno);
+          out.data.clear();
+          ::close(fd);
+          return out;
+        }
+        if (r == 0) break;  // raced a concurrent truncate; serve the prefix
+        done += static_cast<std::size_t>(r);
+      }
+      out.data.resize(done);
+    }
+    ::close(fd);
+    out.ok = true;
+    out.exists = true;
+    return out;
+  }
+}
+
 std::size_t SegmentedWal::retire_through(std::uint64_t upto) {
   std::size_t deleted = 0;
   auto it = sealed_.begin();

@@ -233,8 +233,50 @@ class SegmentedWal {
   std::uint64_t sealed_bytes_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Segment reader (replication serving side, docs/REPLICATION.md)
+
+/// Result of one bounded segment read. ok == false only on a real I/O
+/// error; a missing segment is classified instead: `retired` when a
+/// higher-numbered segment exists (the writer only ever unlinks below its
+/// active segment, so the file was retired and the reader must
+/// re-bootstrap), plain !exists when the reader is simply ahead of the
+/// writer (segment not created yet).
+struct SegmentChunk {
+  bool ok = false;
+  std::string error;
+  bool exists = false;
+  bool retired = false;
+  std::uint64_t segment_bytes = 0;  // file size observed by this read
+  std::vector<std::uint8_t> data;   // bytes [offset, offset + <= max_bytes)
+};
+
+/// Reads WAL segments concurrently with the writer rotating and retiring
+/// them. Stateless: every read opens `<base>.NNNNNN` by name (never holding
+/// an fd across calls, so a retirement between reads cannot strand the
+/// reader on an unlinked file) and resolves ENOENT against the segment
+/// index with a retry — a listing that shows the segment means the open
+/// raced its creation or retirement, so the open is tried again before the
+/// missing file is classified. Reading a file the writer is appending to is
+/// safe: segments are append-only, so a bounded pread returns a stable
+/// prefix (at worst ending mid-record, which the consumer buffers until the
+/// rest arrives).
+class WalSegmentReader {
+ public:
+  [[nodiscard]] static SegmentChunk read(const std::string& base, std::uint64_t seq,
+                                         std::uint64_t offset, std::uint32_t max_bytes);
+};
+
 /// CRC32 (reflected 0xEDB88320, zlib-compatible). Exposed for tests that
 /// hand-craft torn or corrupt WAL images.
 [[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n);
+
+/// The 8-byte magic opening every WAL segment ("ECLWAL01"). Exposed so the
+/// replication path can validate mirrored segment headers without reparsing
+/// whole files.
+[[nodiscard]] const char* wal_magic();
+inline constexpr std::size_t kWalMagicBytes = 8;
+/// Bytes of one record header (u32 payload_len | u32 crc).
+inline constexpr std::size_t kWalRecordHeaderBytes = 8;
 
 }  // namespace ecl::svc

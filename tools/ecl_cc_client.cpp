@@ -50,6 +50,7 @@ int usage() {
                "  ingest-file FILE          insert 'u v' edge lines from FILE\n"
                "  stats                     service statistics\n"
                "  health                    liveness / durability sample\n"
+               "  promote                   flip a replica into a writable primary\n"
                "  shutdown                  ask the daemon to shut down\n");
   return 1;
 }
@@ -273,8 +274,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(h.wal_segments));
     std::printf("wal_bytes           %llu\n",
                 static_cast<unsigned long long>(h.wal_bytes));
+    std::printf("role                %s\n", h.replica ? "replica" : "primary");
+    std::printf("replica_lag_seq     %llu\n",
+                static_cast<unsigned long long>(h.replica_lag_seq));
+    std::printf("replica_lag_ms      %llu\n",
+                static_cast<unsigned long long>(h.replica_lag_ms));
+    std::printf("replicas_connected  %llu\n",
+                static_cast<unsigned long long>(h.replicas_connected));
     // Exit 0 healthy, 2 degraded: lets scripts use this as a health probe.
     return h.degraded ? 2 : 0;
+  }
+
+  if (cmd == "promote") {
+    svc::Status st = svc::Status::kOk;
+    if (!client->promote(&st)) {
+      std::fprintf(stderr, "error: %s\n", status_name(st));
+      return st == svc::Status::kError ? 1 : 2;
+    }
+    std::printf("promoted\n");
+    return 0;
   }
 
   if (cmd == "shutdown") {

@@ -65,6 +65,9 @@ void render(const std::string& endpoint, const Sample& cur, const Sample* prev,
 
   std::printf("ecl_cc_top — %s   uptime %.1fs", endpoint.c_str(),
               static_cast<double>(st.uptime_ms) / 1000.0);
+  if (h.replica) {
+    std::printf(plain ? "   [REPLICA]" : "   \x1b[1;44m REPLICA \x1b[0m");
+  }
   if (h.degraded) {
     std::printf(plain ? "   [DEGRADED: read-only]" : "   \x1b[1;41m DEGRADED: read-only \x1b[0m");
   }
@@ -120,6 +123,18 @@ void render(const std::string& endpoint, const Sample& cur, const Sample* prev,
                 static_cast<unsigned long long>(h.checkpoints_written),
                 static_cast<unsigned long long>(h.last_checkpoint_epoch),
                 static_cast<double>(h.last_checkpoint_age_ms) / 1000.0);
+  }
+
+  // Replication panel. A replica shows how far behind the primary it is; a
+  // primary shows how many replicas are currently fetching from it. Both
+  // read zeros against a pre-replication daemon (tagged tail absent).
+  if (h.replica) {
+    std::printf("replication replica   lag %llu segments / %llu ms behind primary\n",
+                static_cast<unsigned long long>(h.replica_lag_seq),
+                static_cast<unsigned long long>(h.replica_lag_ms));
+  } else if (h.replicas_connected > 0) {
+    std::printf("replication primary   %llu replicas streaming\n",
+                static_cast<unsigned long long>(h.replicas_connected));
   }
 
   // Connection panel (zeros against a pre-event-loop daemon, whose tagged

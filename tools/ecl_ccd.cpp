@@ -33,6 +33,17 @@
 //                           segments are retired (bounded recovery + disk)
 //   --checkpoint-interval-ms=N  min period between checkpoints (def. 5000;
 //                           0 = only the final checkpoint on clean stop)
+//   --replica-of=ENDPOINT   run as a read-only replica of the primary at
+//                           ENDPOINT (a unix socket path if it contains '/',
+//                           else HOST:PORT). Requires --wal and --checkpoint
+//                           (the replica's local mirror + bootstrap state).
+//                           Writes answer kNotPrimary until a kPromote
+//                           (ecl_cc_client promote) flips this daemon into a
+//                           writable primary. See docs/REPLICATION.md.
+//   --replica-fetch-interval-ms=N  WAL fetch cadence on a replica (def. 150)
+//   --replica-fetch-bytes=N bytes per WAL fetch (def. 1 MiB, server-capped)
+//   --replica-hold-ms=N     primary side: a replica unseen for this long
+//                           stops pinning WAL retention (def. 10000)
 //   --frame-timeout-ms=N    evict clients that stall mid-frame (def. 10000)
 //   --idle-timeout-ms=N     evict connections idle this long (0 = never)
 //   --send-timeout-ms=N     evict clients that stop draining their buffered
@@ -68,6 +79,7 @@
 // and exits 0.
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "common/cli.h"
@@ -78,6 +90,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "svc/replica.h"
 #include "svc/server.h"
 #include "svc/service.h"
 
@@ -140,6 +153,12 @@ void collect_service_families(const ecl::svc::ConnectivityService& service,
   append_family(out, "ecl_ckpt_written_total", "counter", h.checkpoints_written);
   append_family(out, "ecl_ckpt_last_epoch", "gauge", h.last_checkpoint_epoch);
   append_family(out, "ecl_ckpt_age_ms", "gauge", h.last_checkpoint_age_ms);
+  // Replication (docs/REPLICATION.md): role flips 1 -> 0 on promotion; lag
+  // is meaningful on replicas, replicas_connected on primaries.
+  append_family(out, "ecl_svc_role", "gauge", h.replica ? 1 : 0);
+  append_family(out, "ecl_svc_replica_lag_seq", "gauge", h.replica_lag_seq);
+  append_family(out, "ecl_svc_replica_lag_ms", "gauge", h.replica_lag_ms);
+  append_family(out, "ecl_svc_replicas_connected", "gauge", h.replicas_connected);
   // Connection-level telemetry from the event-loop front end.
   const auto cs = server.conn_stats();
   append_family(out, "ecl_svc_open_connections", "gauge", cs.open_connections);
@@ -177,6 +196,38 @@ int main(int argc, char** argv) {
   sopts.checkpoint_path = args.get("checkpoint", "");
   sopts.checkpoint_interval_ms =
       static_cast<int>(args.get_int("checkpoint-interval-ms", 5000));
+  sopts.replica_hold_ms = static_cast<int>(args.get_int("replica-hold-ms", 10000));
+
+  const std::string replica_of = args.get("replica-of", "");
+  const bool replica_mode = !replica_of.empty();
+  svc::ReplicatorOptions ropts;
+  ropts.fetch_interval_ms =
+      static_cast<int>(args.get_int("replica-fetch-interval-ms", 150));
+  ropts.fetch_max_bytes =
+      static_cast<std::uint32_t>(args.get_int("replica-fetch-bytes", 1 << 20));
+  if (replica_mode) {
+    if (replica_of.find('/') != std::string::npos) {
+      ropts.unix_path = replica_of;
+    } else {
+      const auto colon = replica_of.rfind(':');
+      if (colon == std::string::npos || colon + 1 == replica_of.size()) {
+        std::fprintf(stderr,
+                     "error: --replica-of wants HOST:PORT or a unix socket path\n");
+        return 1;
+      }
+      ropts.host = replica_of.substr(0, colon);
+      ropts.port = std::atoi(replica_of.c_str() + colon + 1);
+    }
+    if (sopts.wal_path.empty() || sopts.checkpoint_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --replica-of requires --wal and --checkpoint (the "
+                   "replica's local mirror and bootstrap state)\n");
+      return 1;
+    }
+    ropts.wal_path = sopts.wal_path;
+    ropts.checkpoint_path = sopts.checkpoint_path;
+    sopts.replica = true;
+  }
 
   svc::ServerOptions nopts;
   nopts.unix_path = args.get("unix", "");
@@ -220,6 +271,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(slow_threshold_us));
   }
 
+  if (replica_mode) {
+    // Before the service exists: fetch the primary's newest checkpoint (or
+    // resume from local mirror state) so the ctor below recovers from it.
+    std::string berr;
+    if (!svc::Replicator::bootstrap(ropts, &berr)) {
+      std::fprintf(stderr, "error: replica bootstrap failed: %s\n", berr.c_str());
+      return 1;
+    }
+  }
+
   std::unique_ptr<svc::ConnectivityService> service;
   try {
     if (!graph_file.empty()) {
@@ -253,6 +314,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(service->stats().watermark));
   }
 
+  std::unique_ptr<svc::Replicator> replicator;
+  if (replica_mode) {
+    replicator = std::make_unique<svc::Replicator>(*service, ropts);
+    // kPromote must stop the stream before flipping the service: promote()
+    // assumes no more bytes land in the WAL mirror.
+    nopts.promote = [&service, &replicator] {
+      if (replicator) replicator->stop();
+      return service->promote(nullptr);
+    };
+  }
+
   svc::Server server(*service, nopts);
   std::string err;
   if (!server.start(&err)) {
@@ -262,6 +334,18 @@ int main(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+
+  if (replicator != nullptr) {
+    std::string rerr;
+    if (!replicator->start(&rerr)) {
+      std::fprintf(stderr, "error: cannot start replication: %s\n", rerr.c_str());
+      server.stop();
+      service->stop();
+      return 1;
+    }
+    std::printf("replica of %s (fetch every %d ms, %u bytes/fetch)\n",
+                replica_of.c_str(), ropts.fetch_interval_ms, ropts.fetch_max_bytes);
+  }
 
   obs::MetricsExporter exporter(eopts);
   if (exporter_enabled) {
@@ -300,6 +384,17 @@ int main(int argc, char** argv) {
   server.wait();          // until signal or kShutdown request
   server.stop();
   exporter.stop();
+  // Stop the stream before the service: apply_replicated() into a stopping
+  // service is harmless, but the ordering keeps shutdown deterministic.
+  if (replicator != nullptr) {
+    replicator->stop();
+    std::printf("replication: %llu fetch rounds, %llu records applied, "
+                "%llu errors, %llu re-bootstraps\n",
+                static_cast<unsigned long long>(replicator->fetch_rounds()),
+                static_cast<unsigned long long>(replicator->applied_records()),
+                static_cast<unsigned long long>(replicator->fetch_errors()),
+                static_cast<unsigned long long>(replicator->rebootstraps()));
+  }
   service->stop();        // drain in-flight batches + final compaction
   slow_log.close();
 
